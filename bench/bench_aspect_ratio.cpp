@@ -1,0 +1,72 @@
+// EXP-10 (weighted extension, Section 3): competitive behaviour as the
+// aspect ratio Delta = c_max/c_min grows.
+//
+// The weighted guarantees are k (deterministic), O(log k log kDelta)
+// (randomized online) and O(log kDelta) (offline); so Algorithm 1's
+// primal/dual ratio should stay flat in Delta while the rounding overhead
+// grows ~log Delta. Costs are log-uniform in [1, Delta].
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "algs/det_online.hpp"
+#include "algs/rounding.hpp"
+#include "core/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace bac {
+namespace {
+
+Instance weighted_instance(int n, int beta, int k, double delta, Time T,
+                           std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  const int n_blocks = (n + beta - 1) / beta;
+  auto costs = log_uniform_costs(n_blocks, delta, rng.substream(1));
+  return make_weighted_instance(n, beta, k,
+                                zipf_trace(n, T, 0.9, rng.substream(2)),
+                                std::move(costs));
+}
+
+}  // namespace
+}  // namespace bac
+
+int main() {
+  using namespace bac;
+  const int k = 32, beta = 4, n = 128;
+  Table table({"Delta", "Alg1 cost/dual", "bound k", "E[rounded]/frac",
+               "gamma=log(4k^2 b Delta)", "frac cost/dual"});
+  for (double delta : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+    const Instance inst = weighted_instance(n, beta, k, delta, 4000, 7);
+
+    DetOnlineBlockAware det;
+    const RunResult det_run = simulate(inst, det);
+    const double det_ratio = det.dual_objective() > 0
+                                 ? det_run.eviction_cost / det.dual_objective()
+                                 : 0.0;
+
+    RandomizedBlockAware rnd;
+    StreamingStats cost;
+    for (int i = 0; i < 5; ++i) {
+      SimOptions opt;
+      opt.seed = 300 + static_cast<std::uint64_t>(i);
+      cost.add(simulate(inst, rnd, opt).eviction_cost);
+    }
+    table.row()
+        .add(delta, 0)
+        .add(det_ratio, 2)
+        .add(k)
+        .add(rnd.fractional_cost() > 0 ? cost.mean() / rnd.fractional_cost()
+                                       : 0.0,
+             2)
+        .add(rnd.gamma(), 2)
+        .add(rnd.dual_objective() > 0
+                 ? rnd.fractional_cost() / rnd.dual_objective()
+                 : 0.0,
+             2);
+  }
+  bench::emit(table, "bench_aspect_ratio",
+              "EXP-10 weighted blocks: Delta sweep (Alg1 flat in Delta; "
+              "rounding overhead grows ~log Delta with gamma)",
+              "sweep");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// EXP-7 (Theorem 4.1 / Corollary 4.2): deterministic bicriteria rounding.
+//
+//  (a) Exact pipeline on small instances: solve the fetching LP (A.1) with
+//      the simplex, round with the threshold-1/2 rule; verify space <= 2h
+//      and cost <= 2 * LP <= 2 * OPT(h) — Corollary 4.2's offline
+//      2-approximation with k = 2h.
+//  (b) Online pipeline at scale: fractional weighted paging (BBN12a) as
+//      the fractional source — this is Theorem 4.4's derandomization of a
+//      randomized policy (x = expected misses) — rounded online.
+//  (c) The eviction-cost variant of the rounding.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "algs/bicriteria.hpp"
+#include "algs/classical/fractional_paging.hpp"
+#include "algs/opt.hpp"
+#include "lp/naive_lp.hpp"
+
+namespace bac {
+namespace {
+
+void exact_pipeline() {
+  Table table({"trial", "n", "beta", "h", "LP value", "OPT(h)", "rounded",
+               "rounded/OPT", "space", "2h"});
+  for (int trial = 0; trial < 6; ++trial) {
+    const int beta = 2 + trial % 3;
+    const int h = 4;
+    const int n = 10;
+    const Instance inst = bench::build_load(bench::Load::Uniform, n, beta, h,
+                                            40, 500 + trial);
+    const NaiveLpResult lp = solve_naive_lp(inst, CostModel::Fetching);
+    if (lp.status != LpStatus::Optimal)
+      throw std::runtime_error("simplex failed");
+    const auto outcome = round_fetch_threshold(inst, lp.x);
+    const OptResult opt = exact_opt_fetching(inst);
+    table.row()
+        .add(trial)
+        .add(n)
+        .add(beta)
+        .add(h)
+        .add(lp.objective, 2)
+        .add(opt.cost, 1)
+        .add(outcome.fetch_cost, 1)
+        .add(opt.cost > 0 ? outcome.fetch_cost / opt.cost : 0.0, 2)
+        .add(outcome.max_cache_used)
+        .add(2 * h);
+  }
+  bench::emit(table, "bench_bicriteria",
+              "EXP-7a Corollary 4.2: LP + threshold rounding = offline "
+              "2-approximation using 2h space",
+              "exact");
+}
+
+void online_pipeline() {
+  Table table({"n", "beta", "k", "frac block fetch", "rounded fetch",
+               "rounded/frac", "bound 2", "space", "2k"});
+  for (int k : {8, 16, 32}) {
+    for (int beta : {2, 4, 8}) {
+      const int n = 4 * k;
+      const Instance inst =
+          bench::build_load(bench::Load::Zipf, n, beta, k, 3000, 41 + k);
+      FractionalWeightedPaging fp(inst);
+      std::vector<std::vector<double>> x;
+      x.push_back(std::vector<double>(static_cast<std::size_t>(n), 1.0));
+      for (Time t = 1; t <= inst.horizon(); ++t)
+        x.push_back(fp.step(inst.request_at(t)));
+      const auto outcome = round_fetch_threshold(inst, x);
+      const Cost frac = fractional_block_fetch_cost(inst, x);
+      table.row()
+          .add(n)
+          .add(beta)
+          .add(k)
+          .add(frac, 1)
+          .add(outcome.fetch_cost, 1)
+          .add(frac > 0 ? outcome.fetch_cost / frac : 0.0, 2)
+          .add(2)
+          .add(outcome.max_cache_used)
+          .add(2 * k);
+    }
+  }
+  bench::emit(table, "bench_bicriteria",
+              "EXP-7b Theorem 4.1 online: rounding the BBN12a fractional "
+              "solution (derandomization of Theorem 4.4)",
+              "online");
+}
+
+void eviction_variant() {
+  Table table({"k", "beta", "frac block evict", "rounded evict",
+               "rounded/frac", "space", "2k+1"});
+  for (int k : {8, 16, 32}) {
+    const int beta = 4;
+    const Instance inst =
+        bench::build_load(bench::Load::Zipf, 4 * k, beta, k, 3000, 43 + k);
+    FractionalWeightedPaging fp(inst);
+    std::vector<std::vector<double>> x;
+    x.push_back(std::vector<double>(static_cast<std::size_t>(4 * k), 1.0));
+    for (Time t = 1; t <= inst.horizon(); ++t)
+      x.push_back(fp.step(inst.request_at(t)));
+    const auto outcome = round_evict_threshold(inst, x);
+    const Cost frac = fractional_block_evict_cost(inst, x);
+    table.row()
+        .add(k)
+        .add(beta)
+        .add(frac, 1)
+        .add(outcome.eviction_cost, 1)
+        .add(frac > 0 ? outcome.eviction_cost / frac : 0.0, 2)
+        .add(outcome.max_cache_used)
+        .add(2 * k + 1);
+  }
+  bench::emit(table, "bench_bicriteria",
+              "EXP-7c Section 4.1 eviction-cost rounding variant",
+              "eviction");
+}
+
+}  // namespace
+}  // namespace bac
+
+int main() {
+  bac::exact_pipeline();
+  bac::online_pipeline();
+  bac::eviction_variant();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared plumbing for the experiment benches: standard workload builders,
+// table/CSV emission, and parallel sweep helpers. Each bench binary
+// regenerates one experiment from DESIGN.md's per-experiment index and
+// prints a paper-style table plus the theory prediction next to it.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/instance.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bac::bench {
+
+/// Workloads used across experiments (names appear in result tables).
+enum class Load { Zipf, BlockLocal, Scan, Phased, Uniform };
+
+inline const char* load_name(Load l) {
+  switch (l) {
+    case Load::Zipf: return "zipf0.9";
+    case Load::BlockLocal: return "blocklocal";
+    case Load::Scan: return "scan";
+    case Load::Phased: return "phased";
+    case Load::Uniform: return "uniform";
+  }
+  return "?";
+}
+
+inline Instance build_load(Load l, int n, int beta, int k, Time T,
+                           std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  switch (l) {
+    case Load::Zipf:
+      return make_instance(n, beta, k, zipf_trace(n, T, 0.9, rng));
+    case Load::BlockLocal: {
+      BlockMap blocks = BlockMap::contiguous(n, beta);
+      auto req = block_local_trace(blocks, T, 0.75, 0.9, rng);
+      return Instance{std::move(blocks), std::move(req), k};
+    }
+    case Load::Scan:
+      return make_instance(n, beta, k, scan_trace(n, T));
+    case Load::Phased:
+      return make_instance(n, beta, k,
+                           phased_trace(n, T, T / 10, k + beta, rng));
+    case Load::Uniform:
+      return make_instance(n, beta, k, uniform_trace(n, T, rng));
+  }
+  throw std::logic_error("build_load");
+}
+
+/// Print the table and mirror it to bench_results/<bench>_<tag>.csv.
+inline void emit(Table& table, const std::string& bench,
+                 const std::string& title, const std::string& tag = "") {
+  table.print(std::cout, title);
+  std::filesystem::create_directories("bench_results");
+  const std::string path =
+      "bench_results/" + bench + (tag.empty() ? "" : "_" + tag) + ".csv";
+  table.write_csv(path);
+  std::cout << "  [csv: " << path << "]\n\n";
+}
+
+}  // namespace bac::bench

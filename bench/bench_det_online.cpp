@@ -1,0 +1,114 @@
+// EXP-2 (Theorem 3.3): Algorithm 1 is k-competitive for eviction costs.
+//
+// Three views:
+//  (a) primal / dual ratio across k (must stay <= k; typically far below),
+//  (b) ratio to exact OPT on small instances,
+//  (c) eviction cost head-to-head vs classical baselines across beta —
+//      the "beat the trivial beta blow-up" claim of Section 1.1.
+#include "bench_common.hpp"
+
+#include "algs/classical/classical.hpp"
+#include "algs/det_online.hpp"
+#include "algs/opt.hpp"
+#include "core/simulator.hpp"
+
+namespace bac {
+namespace {
+
+void primal_dual_sweep() {
+  Table table({"k", "beta", "workload", "evict cost", "dual LB",
+               "cost/dual", "bound k"});
+  for (int k : {4, 8, 16, 32, 64}) {
+    for (const auto load : {bench::Load::Zipf, bench::Load::BlockLocal}) {
+      const Instance inst =
+          bench::build_load(load, 4 * k, 4, k, 6000, 17 + k);
+      DetOnlineBlockAware alg;
+      const RunResult r = simulate(inst, alg);
+      const double ratio = alg.dual_objective() > 0
+                               ? r.eviction_cost / alg.dual_objective()
+                               : 0.0;
+      table.row()
+          .add(k)
+          .add(4)
+          .add(bench::load_name(load))
+          .add(r.eviction_cost, 1)
+          .add(alg.dual_objective(), 1)
+          .add(ratio, 2)
+          .add(k);
+    }
+  }
+  bench::emit(table, "bench_det_online",
+              "EXP-2a Algorithm 1: primal vs dual certificate (Theorem 3.3 "
+              "bound: cost <= k * dual)",
+              "primal_dual");
+}
+
+void opt_ratio_small() {
+  Table table({"trial", "n", "beta", "k", "alg cost", "OPT", "ratio", "k"});
+  Xoshiro256pp rng(2024);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int beta = 2 + trial % 3;
+    const int k = 4 + (trial % 2) * 2;
+    const int n = 12;
+    const Instance inst = bench::build_load(bench::Load::Uniform, n, beta, k,
+                                            60, 100 + trial);
+    DetOnlineBlockAware alg;
+    const RunResult r = simulate(inst, alg);
+    const OptResult opt = exact_opt_eviction(inst);
+    table.row()
+        .add(trial)
+        .add(n)
+        .add(beta)
+        .add(k)
+        .add(r.eviction_cost, 1)
+        .add(opt.cost, 1)
+        .add(opt.cost > 0 ? r.eviction_cost / opt.cost : 0.0, 2)
+        .add(k);
+  }
+  bench::emit(table, "bench_det_online",
+              "EXP-2b Algorithm 1 vs exact OPT (small instances)",
+              "opt_ratio");
+}
+
+void versus_classical() {
+  Table table({"beta", "LRU", "GreedyDual", "Belady", "BlockLRU",
+               "BA-Det(Alg1)", "Alg1/LRU"});
+  for (int beta : {2, 4, 8, 16}) {
+    const int k = 8 * beta;
+    const int n = 4 * k;
+    const Instance inst =
+        bench::build_load(bench::Load::BlockLocal, n, beta, k, 20'000, 7);
+    auto cost = [&](OnlinePolicy& p) {
+      return simulate(inst, p).eviction_cost;
+    };
+    LruPolicy lru;
+    GreedyDualPolicy gd;
+    BeladyPolicy belady;
+    BlockLruPolicy blru(false);
+    DetOnlineBlockAware det;
+    const double c_lru = cost(lru);
+    const double c_det = cost(det);
+    table.row()
+        .add(beta)
+        .add(c_lru, 0)
+        .add(cost(gd), 0)
+        .add(cost(belady), 0)
+        .add(cost(blru), 0)
+        .add(c_det, 0)
+        .add(c_det / c_lru, 2);
+  }
+  bench::emit(table, "bench_det_online",
+              "EXP-2c eviction cost vs block-oblivious baselines "
+              "(block-local workload; Alg1/LRU should shrink as beta grows)",
+              "vs_classical");
+}
+
+}  // namespace
+}  // namespace bac
+
+int main() {
+  bac::primal_dual_sweep();
+  bac::opt_ratio_small();
+  bac::versus_classical();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// PERF: google-benchmark microbenchmarks of the library's hot paths —
+// simulator throughput per policy, f_tau marginal evaluation, the
+// fractional algorithm's per-step cost, and the exact-OPT solvers.
+#include <benchmark/benchmark.h>
+
+#include <type_traits>
+
+#include "algs/classical/classical.hpp"
+#include "algs/det_online.hpp"
+#include "algs/fractional.hpp"
+#include "algs/opt.hpp"
+#include "algs/rounding.hpp"
+#include "core/simulator.hpp"
+#include "submodular/flush_coverage.hpp"
+#include "trace/generators.hpp"
+
+namespace bac {
+namespace {
+
+/// Default-constructible adapter (BlockLruPolicy's ctor takes a flag).
+class BlockLruNoPrefetch final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+  void reset(const Instance& inst) override { inner_.reset(inst); }
+  void on_request(Time t, PageId p, CacheOps& cache) override {
+    inner_.on_request(t, p, cache);
+  }
+
+ private:
+  BlockLruPolicy inner_{false};
+};
+
+Instance bench_instance(int n, int beta, int k, Time T) {
+  BlockMap blocks = BlockMap::contiguous(n, beta);
+  auto req = block_local_trace(blocks, T, 0.75, 0.9, Xoshiro256pp(9));
+  return Instance{std::move(blocks), std::move(req), k};
+}
+
+template <typename Policy>
+void BM_Simulate(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  // The LP-based randomized policy costs ~ms per request (its separation
+  // oracle scans the fractional history); give it a shorter trace so the
+  // microbenchmark finishes in seconds while still reporting per-item cost.
+  const bool heavy = std::is_same_v<Policy, RandomizedBlockAware>;
+  const Instance inst = bench_instance(n, 8, n / 4, heavy ? 2'000 : 20'000);
+  Policy policy;
+  for (auto _ : state) {
+    const RunResult r = simulate(inst, policy);
+    benchmark::DoNotOptimize(r.eviction_cost);
+  }
+  state.SetItemsProcessed(state.iterations() * inst.horizon());
+}
+
+void BM_FtauMarginals(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Instance inst = bench_instance(n, 8, n / 4, 20'000);
+  for (auto _ : state) {
+    FlushCoverage cov(inst.blocks, inst.k);
+    FlushSet S(cov);
+    long long sink = 0;
+    for (Time t = 1; t <= inst.horizon(); ++t) {
+      FlushSet* sets[] = {&S};
+      const PageId p = inst.request_at(t);
+      cov.advance(p, t, sets);
+      const BlockId b = inst.blocks.block_of(p);
+      for (Time at : cov.alive_times(b)) sink += S.f_marginal(b, at);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * inst.horizon());
+}
+
+void BM_FractionalStep(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const Instance inst = bench_instance(4 * k, 4, k, 2'000);
+  for (auto _ : state) {
+    FractionalBlockAware alg(inst.blocks, inst.k);
+    for (Time t = 1; t <= inst.horizon(); ++t)
+      alg.step(t, inst.request_at(t));
+    benchmark::DoNotOptimize(alg.fractional_cost());
+  }
+  state.SetItemsProcessed(state.iterations() * inst.horizon());
+}
+
+void BM_ExactOptEviction(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Instance inst = Instance{
+      BlockMap::contiguous(n, 2),
+      uniform_trace(n, 40, Xoshiro256pp(4)), n / 2};
+  for (auto _ : state) {
+    const OptResult r = exact_opt_eviction(inst);
+    benchmark::DoNotOptimize(r.cost);
+  }
+}
+
+BENCHMARK(BM_Simulate<LruPolicy>)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Simulate<BlockLruNoPrefetch>)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Simulate<DetOnlineBlockAware>)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Simulate<RandomizedBlockAware>)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FtauMarginals)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FractionalStep)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExactOptEviction)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bac

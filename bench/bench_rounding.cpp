@@ -1,0 +1,94 @@
+// EXP-4 (Theorem 3.12, Lemma 3.16): online randomized rounding pays
+// O(log kDelta) over the fractional solution; combined with EXP-3 this is
+// the O(log k log kDelta) randomized online algorithm.
+//
+// Monte-Carlo over seeds; report E[rounded]/fractional against gamma, the
+// alteration share, and an ablation without the Lemma 3.14 structure
+// transform.
+#include "bench_common.hpp"
+
+#include "algs/rounding.hpp"
+#include "core/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace bac {
+namespace {
+
+void rounding_sweep() {
+  Table table({"k", "beta", "workload", "frac cost", "E[rounded]", "stddev",
+               "E/frac", "gamma", "alterations"});
+  for (int k : {8, 16, 32, 64}) {
+    for (const auto load : {bench::Load::Zipf, bench::Load::BlockLocal}) {
+      const int beta = 4;
+      const Instance inst =
+          bench::build_load(load, 3 * k, beta, k, 3000, 23 + k);
+      RandomizedBlockAware alg;
+      StreamingStats cost;
+      long long alterations = 0;
+      const int trials = 6;
+      for (int i = 0; i < trials; ++i) {
+        SimOptions opt;
+        opt.seed = 1000 + static_cast<std::uint64_t>(i);
+        cost.add(simulate(inst, alg, opt).eviction_cost);
+        alterations += alg.alterations();
+      }
+      table.row()
+          .add(k)
+          .add(beta)
+          .add(bench::load_name(load))
+          .add(alg.fractional_cost(), 1)
+          .add(cost.mean(), 1)
+          .add(cost.stddev(), 1)
+          .add(alg.fractional_cost() > 0 ? cost.mean() / alg.fractional_cost()
+                                         : 0.0,
+               2)
+          .add(alg.gamma(), 2)
+          .add(alterations / trials);
+    }
+  }
+  bench::emit(table, "bench_rounding",
+              "EXP-4 Algorithm 3+4: expected rounded cost vs fractional "
+              "(Lemma 3.16 shape: E/frac = O(gamma))",
+              "sweep");
+}
+
+void structure_ablation() {
+  Table table({"k", "variant", "E[rounded]", "E/frac", "fallbacks"});
+  for (int k : {16, 32}) {
+    const Instance inst =
+        bench::build_load(bench::Load::Zipf, 3 * k, 4, k, 2500, 31);
+    for (int variant = 0; variant < 2; ++variant) {
+      RandomizedBlockAware::Options options;
+      options.apply_structure = variant == 0;
+      RandomizedBlockAware alg(options);
+      StreamingStats cost;
+      long long fallbacks = 0;
+      for (int i = 0; i < 5; ++i) {
+        SimOptions opt;
+        opt.seed = 2000 + static_cast<std::uint64_t>(i);
+        cost.add(simulate(inst, alg, opt).eviction_cost);
+        fallbacks += alg.fallback_alterations();
+      }
+      table.row()
+          .add(k)
+          .add(variant == 0 ? "with Lemma 3.14 transform" : "raw increments")
+          .add(cost.mean(), 1)
+          .add(alg.fractional_cost() > 0 ? cost.mean() / alg.fractional_cost()
+                                         : 0.0,
+               2)
+          .add(fallbacks / 5);
+    }
+  }
+  bench::emit(table, "bench_rounding",
+              "EXP-4 ablation: Lemma 3.14 structure transform on/off",
+              "structure_ablation");
+}
+
+}  // namespace
+}  // namespace bac
+
+int main() {
+  bac::rounding_sweep();
+  bac::structure_ablation();
+  return 0;
+}

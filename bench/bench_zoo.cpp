@@ -1,0 +1,82 @@
+// EXP-9 (Section 1.1): head-to-head table of every policy on every
+// workload, both cost models — the "beat the trivial beta blow-up" story.
+//
+// Expected shape: under eviction costs the paper's algorithms and the
+// block-batching heuristics win by up to a factor beta on block-local
+// workloads; under fetching costs nothing can beat the Omega(beta + log k)
+// barrier (Theorem 1.2), so classical prefetching heuristics remain
+// competitive there.
+//
+// Runs are parallelized over (workload, policy) pairs with deterministic
+// per-task seeds via the thread pool.
+#include "bench_common.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "algs/zoo.hpp"
+#include "core/simulator.hpp"
+
+namespace bac {
+namespace {
+
+struct Job {
+  bench::Load load;
+  std::size_t policy_index;
+  RunResult result;
+  std::string policy_name;
+};
+
+void head_to_head(int beta, int k) {
+  const std::vector<bench::Load> loads{
+      bench::Load::Zipf, bench::Load::BlockLocal, bench::Load::Scan,
+      bench::Load::Phased};
+  const std::size_t n_policies = make_policy_zoo().size();
+
+  std::vector<Job> jobs;
+  for (const auto load : loads)
+    for (std::size_t pi = 0; pi < n_policies; ++pi)
+      jobs.push_back({load, pi, {}, ""});
+
+  global_pool().parallel_for_indexed(jobs.size(), [&](std::size_t i) {
+    Job& job = jobs[i];
+    // Each task rebuilds its own instance and policy: no shared state.
+    const Instance inst =
+        bench::build_load(job.load, 4 * k, beta, k, 12'000, 97);
+    auto zoo = make_policy_zoo();
+    SimOptions options;
+    options.seed = 13;
+    job.result = simulate(inst, *zoo[job.policy_index], options);
+    job.policy_name = zoo[job.policy_index]->name();
+  });
+
+  for (const auto load : loads) {
+    Table table({"policy", "evict cost", "fetch cost", "misses",
+                 "evict events", "fetch events"});
+    for (const Job& job : jobs) {
+      if (job.load != load) continue;
+      table.row()
+          .add(job.policy_name)
+          .add(job.result.eviction_cost, 0)
+          .add(job.result.fetch_cost, 0)
+          .add(job.result.misses)
+          .add(job.result.evict_block_events)
+          .add(job.result.fetch_block_events);
+    }
+    bench::emit(table, "bench_zoo",
+                std::string("EXP-9 head-to-head, workload=") +
+                    bench::load_name(load) + " (beta=" + std::to_string(beta) +
+                    ", k=" + std::to_string(k) + ")",
+                std::string(bench::load_name(load)) + "_beta" +
+                    std::to_string(beta));
+  }
+}
+
+}  // namespace
+}  // namespace bac
+
+int main() {
+  bac::head_to_head(/*beta=*/8, /*k=*/64);
+  bac::head_to_head(/*beta=*/2, /*k=*/64);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Adversary playground: watch the (h, k) fetching-cost adversary of
+// Theorem 4.3/4.4 defeat an online policy of your choice in real time.
+//
+//   $ ./adversary_playground [policy] [k] [block_size] [h] [T]
+//     policy in {lru, fifo, marking, greedydual, badet}
+//
+// Prints the generated request stream's block structure, the online
+// policy's per-phase fetching cost, and the final ratio against an
+// offline h-page comparator, next to the BGM21 bound.
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "algs/classical/classical.hpp"
+#include "algs/det_online.hpp"
+#include "algs/opt.hpp"
+#include "core/simulator.hpp"
+#include "trace/adversarial.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::unique_ptr<bac::OnlinePolicy> make_policy(const std::string& name) {
+  if (name == "fifo") return std::make_unique<bac::FifoPolicy>();
+  if (name == "marking") return std::make_unique<bac::MarkingPolicy>();
+  if (name == "greedydual") return std::make_unique<bac::GreedyDualPolicy>();
+  if (name == "badet") return std::make_unique<bac::DetOnlineBlockAware>();
+  return std::make_unique<bac::LruPolicy>();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string policy_name = argc > 1 ? argv[1] : "lru";
+  const int k = argc > 2 ? std::stoi(argv[2]) : 8;
+  const int block_size = argc > 3 ? std::stoi(argv[3]) : 2;
+  const int h = argc > 4 ? std::stoi(argv[4]) : 4;
+  const bac::Time T = argc > 5 ? std::stoi(argv[5]) : 400;
+
+  auto policy = make_policy(policy_name);
+  const auto adv = bac::run_adaptive_adversary(*policy, k, block_size, h, T);
+
+  std::cout << "adversary vs " << policy->name() << ": universe of "
+            << adv.instance.n_pages() << " pages in blocks of " << block_size
+            << ", online cache k=" << k << ", offline cache h=" << h << "\n\n";
+
+  // Show the first few adversarial requests with their blocks.
+  std::cout << "first requests (page/block): ";
+  for (bac::Time t = 0; t < std::min<bac::Time>(16, T); ++t) {
+    const bac::PageId p = adv.instance.requests[static_cast<std::size_t>(t)];
+    std::cout << p << "/" << adv.instance.blocks.block_of(p) << " ";
+  }
+  std::cout << "...\n\n";
+
+  // Offline comparator: exact OPT when small, else batching heuristics.
+  bac::Instance offline = adv.instance;
+  offline.k = h;
+  double opt_cost;
+  std::string kind;
+  if (offline.n_pages() <= 14) {
+    bac::OptLimits limits;
+    limits.max_layer_states = 1'000'000;
+    const auto opt = bac::exact_opt_fetching(offline, limits);
+    opt_cost = opt.cost;
+    kind = opt.exact ? "exact OPT" : "OPT (truncated)";
+  } else {
+    bac::BlockLruPolicy prefetch(true);
+    opt_cost = bac::simulate(offline, prefetch).fetch_cost;
+    kind = "BlockLRU+Prefetch heuristic";
+  }
+
+  bac::Table table({"quantity", "value"});
+  table.row().add("online fetching cost").add(adv.online_fetch, 1);
+  table.row().add("offline(h) cost [" + kind + "]").add(opt_cost, 1);
+  table.row().add("measured ratio").add(adv.online_fetch / opt_cost, 3);
+  table.row()
+      .add("BGM21 bound (k+(B-1)(h-1))/(k-h+1)")
+      .add(bac::bgm21_lower_bound(k, block_size, h), 3);
+  table.row()
+      .add("classic blockless bound k/(k-h+1)")
+      .add(static_cast<double>(k) / (k - h + 1), 3);
+  table.print(std::cout, "results");
+  std::cout << "\nEvery request targets a page absent from the online cache,"
+               "\nso the online policy pays >= 1 block fetch per step; the"
+               "\noffline cache batches whole blocks. No algorithm escapes"
+               "\nthe Omega(beta + log k) fetching lower bound (Thm 1.2).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// CDN edge-cache scenario (paper Section 1: web caching / content
+// delivery). Websites are blocks: once the TCP window to an origin is
+// open, fetching many of its objects costs the same as fetching one.
+// Object popularity is Zipf across sites with strong within-site locality,
+// and sites differ in connection cost (aspect ratio Delta).
+//
+//   $ ./cdn_cache [seed]
+//
+// Shows: weighted block-aware caching under the *fetching* cost model,
+// where prefetching whole sites pays off — plus what the same policies pay
+// under eviction costs (origin write-back, e.g. cache digests).
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "algs/classical/classical.hpp"
+#include "algs/det_online.hpp"
+#include "algs/rounding.hpp"
+#include "core/simulator.hpp"
+#include "trace/generators.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 42;
+  bac::Xoshiro256pp rng(seed);
+
+  // 128 sites x 16 objects; connection costs log-uniform in [1, 32];
+  // an edge cache holding 512 objects.
+  const int n_sites = 64, objects_per_site = 16;
+  const int n = n_sites * objects_per_site;
+  const int k = 256;
+  auto costs = bac::log_uniform_costs(n_sites, 32.0, rng.substream(1));
+  bac::BlockMap sites =
+      bac::BlockMap::contiguous_weighted(n, objects_per_site, std::move(costs));
+  auto requests =
+      bac::block_local_trace(sites, 8'000, /*stay=*/0.85, /*alpha=*/1.0,
+                             rng.substream(2));
+  bac::Instance inst{std::move(sites), std::move(requests), k};
+
+  bac::Table table(
+      {"policy", "fetch cost (reads)", "evict cost (writebacks)", "misses"});
+  auto run = [&](bac::OnlinePolicy& policy) {
+    bac::SimOptions options;
+    options.seed = seed;
+    const bac::RunResult r = bac::simulate(inst, policy, options);
+    table.row()
+        .add(policy.name())
+        .add(r.fetch_cost, 0)
+        .add(r.eviction_cost, 0)
+        .add(r.misses);
+  };
+
+  bac::LruPolicy lru;
+  bac::GreedyDualPolicy greedy_dual;
+  bac::BlockLruPolicy site_lru(/*prefetch=*/false);
+  bac::BlockLruPolicy site_prefetch(/*prefetch=*/true);
+  bac::DetOnlineBlockAware ba_det;
+  bac::RandomizedBlockAware ba_rand;
+  run(lru);
+  run(greedy_dual);
+  run(site_lru);
+  run(site_prefetch);
+  run(ba_det);
+  run(ba_rand);
+
+  table.print(std::cout,
+              "CDN edge cache: 64 sites x 16 objects, k=256, Delta=32");
+  std::cout <<
+      "\nReading guide: under fetching costs (read-heavy CDN), site-level\n"
+      "prefetching wins — consistent with the paper's Omega(beta) fetching\n"
+      "lower bound leaving only constant-factor improvements. Under\n"
+      "eviction costs (write-back), the paper's algorithms (BA-*) batch\n"
+      "writebacks and beat every page-granular policy.\n";
+  return 0;
+}

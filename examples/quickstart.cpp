@@ -1,0 +1,47 @@
+// Quickstart: build a block-aware caching instance, run a few policies,
+// and print both cost models side by side.
+//
+//   $ ./quickstart [seed]
+//
+// Demonstrates the three core API layers:
+//   1. trace/: generate a workload and wrap it in an Instance,
+//   2. algs/:  pick policies (classical baselines + the paper's),
+//   3. core/:  simulate and read batched eviction/fetching costs.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "algs/zoo.hpp"
+#include "core/simulator.hpp"
+#include "trace/generators.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 1;
+
+  // 256 pages in blocks of 8, cache of 64 pages, Zipf(0.9) requests with
+  // block locality — a CDN-ish workload.
+  const int n_pages = 256, block_size = 8, k = 64;
+  const bac::BlockMap blocks = bac::BlockMap::contiguous(n_pages, block_size);
+  auto requests =
+      bac::block_local_trace(blocks, /*T=*/6'000, /*stay=*/0.7,
+                             /*alpha=*/0.9, bac::Xoshiro256pp(seed));
+  bac::Instance inst{blocks, std::move(requests), k};
+
+  bac::Table table({"policy", "eviction cost", "fetch cost", "misses"});
+  for (auto& policy : bac::make_policy_zoo()) {
+    bac::SimOptions options;
+    options.seed = seed;
+    const bac::RunResult r = bac::simulate(inst, *policy, options);
+    table.row()
+        .add(policy->name())
+        .add(r.eviction_cost, 1)
+        .add(r.fetch_cost, 1)
+        .add(r.misses);
+  }
+  table.print(std::cout, "block-aware caching quickstart (n=256, beta=8, k=64, T=6000)");
+  std::cout << "\nLower eviction cost at similar misses means better batching;\n"
+               "the paper's eviction-model algorithms (BA-*) should beat the\n"
+               "block-oblivious baselines by up to a factor of beta.\n";
+  return 0;
+}

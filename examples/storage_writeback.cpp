@@ -1,0 +1,65 @@
+// Storage-tier write-back scenario (paper Section 1: ZFS-like pooled
+// storage). A fast tier caches pages of extents ("blocks"); dirty data
+// must be written back to the slow tier on eviction, and writing any
+// subset of one extent costs one device I/O — the *eviction cost model*,
+// where the paper's algorithms have their strongest guarantees.
+//
+//   $ ./storage_writeback [seed]
+//
+// Sweeps extent size beta at fixed cache/universe size and reports the
+// write-back (eviction) cost of each policy: the gap between classical
+// and block-aware policies widens roughly linearly with beta.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "algs/classical/classical.hpp"
+#include "algs/det_online.hpp"
+#include "algs/rounding.hpp"
+#include "core/simulator.hpp"
+#include "trace/generators.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 7;
+
+  bac::Table table({"extent size beta", "LRU", "GreedyDual", "BlockLRU",
+                    "BA-Det(Alg1)", "BA-Rand", "LRU / BA-Det"});
+  for (int beta : {2, 4, 8, 16}) {
+    const int k = 128;
+    const int n = 4 * k;
+    bac::BlockMap extents = bac::BlockMap::contiguous(n, beta);
+    auto requests = bac::block_local_trace(
+        extents, 8'000, /*stay=*/0.8, /*alpha=*/0.9, bac::Xoshiro256pp(seed));
+    bac::Instance inst{std::move(extents), std::move(requests), k};
+
+    auto evict_cost = [&](bac::OnlinePolicy& policy) {
+      bac::SimOptions options;
+      options.seed = seed;
+      return bac::simulate(inst, policy, options).eviction_cost;
+    };
+    bac::LruPolicy lru;
+    bac::GreedyDualPolicy gd;
+    bac::BlockLruPolicy blru(false);
+    bac::DetOnlineBlockAware det;
+    bac::RandomizedBlockAware rnd;
+    const double c_lru = evict_cost(lru);
+    const double c_det = evict_cost(det);
+    table.row()
+        .add(beta)
+        .add(c_lru, 0)
+        .add(evict_cost(gd), 0)
+        .add(evict_cost(blru), 0)
+        .add(c_det, 0)
+        .add(evict_cost(rnd), 0)
+        .add(c_det > 0 ? c_lru / c_det : 0.0, 2);
+  }
+  table.print(std::cout,
+              "Write-back I/O events by extent size (n=512, k=128, "
+              "block-local trace)");
+  std::cout <<
+      "\nThe last column is the factor saved by the paper's k-competitive\n"
+      "deterministic algorithm over LRU; it grows with beta, cf. the\n"
+      "trivial beta*r bound classical policies cannot escape.\n";
+  return 0;
+}

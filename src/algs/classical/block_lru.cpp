@@ -1,0 +1,61 @@
+#include "algs/classical/classical.hpp"
+
+namespace bac {
+
+void BlockLruPolicy::reset(const Instance& inst) {
+  const auto m = static_cast<std::size_t>(inst.blocks.n_blocks());
+  block_used_.assign(m, 0);
+  by_recency_.clear();
+  cached_count_.assign(m, 0);
+}
+
+void BlockLruPolicy::touch(BlockId b, Time t) {
+  if (cached_count_[static_cast<std::size_t>(b)] > 0)
+    by_recency_.erase({block_used_[static_cast<std::size_t>(b)], b});
+  block_used_[static_cast<std::size_t>(b)] = t;
+}
+
+void BlockLruPolicy::note_evicted(BlockId b, int n_evicted) {
+  cached_count_[static_cast<std::size_t>(b)] -= n_evicted;
+}
+
+void BlockLruPolicy::on_request(Time t, PageId p, CacheOps& cache) {
+  const BlockId b = cache.blocks().block_of(p);
+  touch(b, t);
+
+  if (!cache.contains(p)) {
+    // Fetch the page (or, with prefetch, the whole block).
+    int fetched = 0;
+    if (prefetch_) {
+      for (PageId q : cache.blocks().pages_in(b)) {
+        if (!cache.contains(q)) {
+          cache.fetch(q);
+          ++fetched;
+        }
+      }
+    } else {
+      cache.fetch(p);
+      fetched = 1;
+    }
+    cached_count_[static_cast<std::size_t>(b)] += fetched;
+
+    // Flush LRU blocks until we fit; never the requested block.
+    while (cache.size() > cache.capacity()) {
+      auto it = by_recency_.begin();
+      const BlockId victim = it->second;
+      by_recency_.erase(it);
+      const int evicted = cache.flush_block(victim);
+      note_evicted(victim, evicted);
+      if (cache.size() > cache.capacity() &&
+          cached_count_[static_cast<std::size_t>(b)] > 0 &&
+          by_recency_.empty()) {
+        // Only the requested block remains: shed its other pages.
+        const int shed = cache.flush_block(b, p);
+        note_evicted(b, shed);
+      }
+    }
+  }
+  by_recency_.insert({t, b});
+}
+
+}  // namespace bac

@@ -1,0 +1,136 @@
+// Classical (block-oblivious) caching policies.
+//
+// These are the paper's trivial comparators (Section 1.1): any r-competitive
+// classical policy is at most beta*r-competitive for block-aware caching,
+// because it never batches evictions or fetches within a block. Running them
+// through the block-aware cost meter quantifies exactly how much the
+// block-aware algorithms gain.
+//
+//  - LRU / FIFO / LFU: the textbook deterministic policies (k-competitive /
+//    k-competitive / not competitive, resp., for classic unweighted paging).
+//  - Marking [FKL+91]: O(log k)-competitive randomized unweighted paging.
+//  - Belady MIN: the offline optimum for classic unweighted paging
+//    (farthest-in-future eviction); reads the future via reset().
+//  - GreedyDual (a.k.a. Landlord): k-competitive weighted caching; pages
+//    weighted by their block's cost.
+//  - BlockLRU: a natural block-aware heuristic — LRU over blocks, evicting
+//    whole blocks (batched), optionally prefetching whole blocks on a miss.
+//    Not from the paper; included as the "what a practitioner would try"
+//    baseline.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace bac {
+
+class LruPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "LRU"; }
+  void reset(const Instance& inst) override;
+  void on_request(Time t, PageId p, CacheOps& cache) override;
+
+ private:
+  std::vector<Time> last_used_;
+  std::set<std::pair<Time, PageId>> by_recency_;  // cached pages only
+};
+
+class FifoPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+  void reset(const Instance& inst) override;
+  void on_request(Time t, PageId p, CacheOps& cache) override;
+
+ private:
+  std::vector<Time> arrival_;
+  std::set<std::pair<Time, PageId>> by_arrival_;
+};
+
+class LfuPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "LFU"; }
+  void reset(const Instance& inst) override;
+  void on_request(Time t, PageId p, CacheOps& cache) override;
+
+ private:
+  std::vector<long long> freq_;
+  std::set<std::pair<long long, PageId>> by_freq_;
+};
+
+/// Randomized Marking [FKL+91]: phase-based, evicts a uniformly random
+/// unmarked cached page.
+class MarkingPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "Marking"; }
+  void reset(const Instance& inst) override;
+  void seed(std::uint64_t s) override { rng_ = Xoshiro256pp(s); }
+  void on_request(Time t, PageId p, CacheOps& cache) override;
+
+ private:
+  std::vector<char> marked_;
+  std::vector<PageId> unmarked_cached_;  // compact list for O(1) sampling
+  std::vector<std::int32_t> unmarked_pos_;
+  Xoshiro256pp rng_{1};
+
+  void set_unmarked(PageId p, bool unmarked);
+};
+
+/// Belady's MIN (offline): evict the cached page whose next request is
+/// farthest in the future. Optimal for classic unweighted paging; a strong
+/// (but block-oblivious) offline baseline here.
+class BeladyPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "Belady"; }
+  void reset(const Instance& inst) override;
+  void on_request(Time t, PageId p, CacheOps& cache) override;
+
+ private:
+  std::vector<std::vector<Time>> occurrences_;  // per page, ascending
+  std::vector<std::size_t> cursor_;             // next occurrence index
+  std::set<std::pair<Time, PageId>> by_next_;   // cached pages by next use
+
+  [[nodiscard]] Time next_use(PageId p) const;
+};
+
+/// GreedyDual / Landlord: k-competitive for weighted caching. Credits are
+/// maintained with a global offset so each miss costs O(log k).
+class GreedyDualPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "GreedyDual"; }
+  void reset(const Instance& inst) override;
+  void on_request(Time t, PageId p, CacheOps& cache) override;
+
+ private:
+  const BlockMap* blocks_ = nullptr;
+  double offset_ = 0;
+  std::vector<double> credit_;  // absolute credit; effective = credit-offset
+  std::set<std::pair<double, PageId>> by_credit_;
+};
+
+/// LRU over whole blocks: on overflow, flush the least-recently-used block
+/// (batched eviction). With `prefetch` true, a miss fetches the whole block
+/// (batched fetch) and then flushes LRU blocks until the cache fits.
+class BlockLruPolicy final : public OnlinePolicy {
+ public:
+  explicit BlockLruPolicy(bool prefetch) : prefetch_(prefetch) {}
+  [[nodiscard]] std::string name() const override {
+    return prefetch_ ? "BlockLRU+Prefetch" : "BlockLRU";
+  }
+  void reset(const Instance& inst) override;
+  void on_request(Time t, PageId p, CacheOps& cache) override;
+
+ private:
+  bool prefetch_;
+  std::vector<Time> block_used_;
+  std::set<std::pair<Time, BlockId>> by_recency_;  // blocks with cached pages
+  std::vector<int> cached_count_;                  // cached pages per block
+
+  void touch(BlockId b, Time t);
+  void note_evicted(BlockId b, int n_evicted);
+};
+
+}  // namespace bac

@@ -1,0 +1,22 @@
+#include "algs/classical/classical.hpp"
+
+namespace bac {
+
+void FifoPolicy::reset(const Instance& inst) {
+  arrival_.assign(static_cast<std::size_t>(inst.n_pages()), 0);
+  by_arrival_.clear();
+}
+
+void FifoPolicy::on_request(Time t, PageId p, CacheOps& cache) {
+  if (cache.contains(p)) return;
+  if (cache.size() >= cache.capacity()) {
+    const auto victim = *by_arrival_.begin();
+    by_arrival_.erase(by_arrival_.begin());
+    cache.evict(victim.second);
+  }
+  cache.fetch(p);
+  arrival_[static_cast<std::size_t>(p)] = t;
+  by_arrival_.insert({t, p});
+}
+
+}  // namespace bac

@@ -1,0 +1,79 @@
+#include "algs/classical/fractional_paging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bac {
+
+FractionalWeightedPaging::FractionalWeightedPaging(const Instance& inst)
+    : blocks_(&inst.blocks), k_(inst.k) {
+  const auto n = static_cast<std::size_t>(inst.n_pages());
+  x_.assign(n, 1.0);  // everything starts missing (empty cache)
+  cost_.resize(n);
+  seen_.assign(n, 0);
+  for (PageId p = 0; p < inst.n_pages(); ++p)
+    cost_[static_cast<std::size_t>(p)] =
+        blocks_->cost(blocks_->block_of(p));
+}
+
+double FractionalWeightedPaging::cached_mass() const {
+  double mass = 0;
+  for (std::size_t p = 0; p < x_.size(); ++p)
+    if (seen_[p]) mass += 1.0 - x_[p];
+  return mass;
+}
+
+const std::vector<double>& FractionalWeightedPaging::step(PageId p) {
+  std::vector<double> before = x_;
+
+  seen_[static_cast<std::size_t>(p)] = 1;
+  x_[static_cast<std::size_t>(p)] = 0.0;
+
+  if (cached_mass() > static_cast<double>(k_)) {
+    // Grow missing masses of all other seen pages along the exponential
+    // dynamics x_q(s) = (x_q + 1/k) * exp(s / c_q) - 1/k, finding the
+    // "time" s at which the fractional cache exactly fits via bisection
+    // (the cached mass is strictly decreasing in s).
+    const double inv_k = 1.0 / static_cast<double>(k_);
+    std::vector<double> base = x_;
+    auto mass_at = [&](double s) {
+      double mass = 0;
+      for (std::size_t q = 0; q < x_.size(); ++q) {
+        if (!seen_[q] || static_cast<PageId>(q) == p) continue;
+        const double xq = std::min(
+            1.0, (base[q] + inv_k) * std::exp(s / cost_[q]) - inv_k);
+        mass += 1.0 - xq;
+      }
+      return mass + 1.0;  // the requested page contributes 1 - x_p = 1
+    };
+
+    double lo = 0.0, hi = 1.0;
+    while (mass_at(hi) > static_cast<double>(k_)) hi *= 2.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (mass_at(mid) > static_cast<double>(k_)) lo = mid;
+      else hi = mid;
+    }
+    for (std::size_t q = 0; q < x_.size(); ++q) {
+      if (!seen_[q] || static_cast<PageId>(q) == p) continue;
+      x_[q] = std::min(1.0, (base[q] + inv_k) * std::exp(hi / cost_[q]) - inv_k);
+    }
+  }
+
+  // Account fetching costs (mass decreases = fractional fetches).
+  for (std::size_t q = 0; q < x_.size(); ++q) {
+    const double dec = before[q] - x_[q];
+    if (dec > 0) fetch_cost_ += cost_[q] * dec;
+  }
+  for (BlockId b = 0; b < blocks_->n_blocks(); ++b) {
+    double max_dec = 0;
+    for (PageId q : blocks_->pages_in(b))
+      max_dec = std::max(max_dec,
+                         before[static_cast<std::size_t>(q)] -
+                             x_[static_cast<std::size_t>(q)]);
+    if (max_dec > 0) block_fetch_cost_ += blocks_->cost(b) * max_dec;
+  }
+  return x_;
+}
+
+}  // namespace bac

@@ -1,0 +1,55 @@
+// Fractional weighted paging via the online primal-dual method of
+// Bansal-Buchbinder-Naor [BBN12a].
+//
+// Maintains the fractional "missing mass" x_p in [0,1] per page; on a
+// request x_{p_t} drops to 0, and while the fractional cache content
+// sum_p (1 - x_p) exceeds k, all other pages' missing masses grow according
+// to the multiplicative dynamics  dx_q ~ (x_q + 1/k) / c_q. This yields an
+// O(log k)-competitive fractional solution for classic weighted paging.
+//
+// Role in this library: the canonical online source of feasible fractional
+// solutions x for the fetching-model experiments — the Section 4.1
+// deterministic bicriteria rounding consumes exactly such an x stream, and
+// Theorem 4.4's derandomization argument treats x_p as the expectation of a
+// randomized policy's indicator. Page costs are their block's cost.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace bac {
+
+class FractionalWeightedPaging {
+ public:
+  explicit FractionalWeightedPaging(const Instance& inst);
+
+  /// Serve a request; returns the post-step missing-mass vector x.
+  const std::vector<double>& step(PageId p);
+
+  [[nodiscard]] const std::vector<double>& x() const noexcept { return x_; }
+
+  /// Accumulated fractional *classic* fetching cost: sum over steps of
+  /// sum_p c_p * max(0, decrease of x_p).
+  [[nodiscard]] double classic_fetch_cost() const noexcept {
+    return fetch_cost_;
+  }
+  /// Accumulated fractional *block-batched* fetching cost:
+  /// sum over steps of sum_B c_B * max_{p in B} (decrease of x_p)_+.
+  [[nodiscard]] double block_fetch_cost() const noexcept {
+    return block_fetch_cost_;
+  }
+
+ private:
+  const BlockMap* blocks_;
+  int k_;
+  std::vector<double> x_;      // missing mass per page
+  std::vector<double> cost_;   // per-page cost (its block's cost)
+  std::vector<char> seen_;     // requested at least once
+  double fetch_cost_ = 0;
+  double block_fetch_cost_ = 0;
+
+  [[nodiscard]] double cached_mass() const;
+};
+
+}  // namespace bac

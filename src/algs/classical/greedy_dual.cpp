@@ -1,0 +1,34 @@
+#include "algs/classical/classical.hpp"
+
+namespace bac {
+
+void GreedyDualPolicy::reset(const Instance& inst) {
+  blocks_ = &inst.blocks;
+  offset_ = 0;
+  credit_.assign(static_cast<std::size_t>(inst.n_pages()), 0.0);
+  by_credit_.clear();
+}
+
+void GreedyDualPolicy::on_request(Time /*t*/, PageId p, CacheOps& cache) {
+  const double cost = blocks_->cost(blocks_->block_of(p));
+  if (cache.contains(p)) {
+    // Refresh credit to full cost (Landlord's reset-on-hit).
+    by_credit_.erase({credit_[static_cast<std::size_t>(p)], p});
+    credit_[static_cast<std::size_t>(p)] = offset_ + cost;
+    by_credit_.insert({credit_[static_cast<std::size_t>(p)], p});
+    return;
+  }
+  if (cache.size() >= cache.capacity()) {
+    // Charge rent: raise the offset to the minimum credit, evict a page
+    // whose effective credit hit zero.
+    const auto victim = *by_credit_.begin();
+    by_credit_.erase(by_credit_.begin());
+    offset_ = victim.first;
+    cache.evict(victim.second);
+  }
+  cache.fetch(p);
+  credit_[static_cast<std::size_t>(p)] = offset_ + cost;
+  by_credit_.insert({credit_[static_cast<std::size_t>(p)], p});
+}
+
+}  // namespace bac

@@ -1,0 +1,28 @@
+#include "algs/classical/classical.hpp"
+
+namespace bac {
+
+void LfuPolicy::reset(const Instance& inst) {
+  freq_.assign(static_cast<std::size_t>(inst.n_pages()), 0);
+  by_freq_.clear();
+}
+
+void LfuPolicy::on_request(Time /*t*/, PageId p, CacheOps& cache) {
+  auto& f = freq_[static_cast<std::size_t>(p)];
+  if (cache.contains(p)) {
+    by_freq_.erase({f, p});
+    ++f;
+    by_freq_.insert({f, p});
+    return;
+  }
+  if (cache.size() >= cache.capacity()) {
+    const auto victim = *by_freq_.begin();
+    by_freq_.erase(by_freq_.begin());
+    cache.evict(victim.second);
+  }
+  cache.fetch(p);
+  ++f;
+  by_freq_.insert({f, p});
+}
+
+}  // namespace bac

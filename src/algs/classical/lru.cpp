@@ -1,0 +1,25 @@
+#include "algs/classical/classical.hpp"
+
+namespace bac {
+
+void LruPolicy::reset(const Instance& inst) {
+  last_used_.assign(static_cast<std::size_t>(inst.n_pages()), 0);
+  by_recency_.clear();
+}
+
+void LruPolicy::on_request(Time t, PageId p, CacheOps& cache) {
+  if (cache.contains(p)) {
+    by_recency_.erase({last_used_[static_cast<std::size_t>(p)], p});
+  } else {
+    if (cache.size() >= cache.capacity()) {
+      const auto victim = *by_recency_.begin();
+      by_recency_.erase(by_recency_.begin());
+      cache.evict(victim.second);
+    }
+    cache.fetch(p);
+  }
+  last_used_[static_cast<std::size_t>(p)] = t;
+  by_recency_.insert({t, p});
+}
+
+}  // namespace bac

@@ -1,0 +1,83 @@
+// Algorithm 1: the k-competitive deterministic online algorithm for
+// block-aware caching with eviction cost (Theorem 3.3).
+//
+// Primal-dual over the submodular-cover LP (P)/(D). On a cache overflow at
+// time tau the algorithm raises the dual variable y_S^tau until the dual
+// constraint of some flush (B, t) becomes tight, then performs the flush
+// (B, tau). Since exactly one page is requested per step, an overflow
+// always has |C| = k + 1, so n - k - f_tau(S) = 1 and every non-zero capped
+// marginal equals 1; raising y therefore adds the same increment to the
+// dual load of every flush with positive marginal, and the first
+// constraint to tighten is the one with maximal accumulated load.
+//
+// Dual-load bookkeeping: for block B with last flush at m_B, the flushes
+// with positive marginal at an overflow are exactly those with
+// t >= theta(B) := (smallest last-request value in B that is >= m_B) + 1,
+// and theta(B) is itself an "alive" time, so tracking loads at the times
+// that were ever alive since B's last flush is exhaustive: any untracked
+// time is dominated by the nearest tracked time below it (same or larger
+// load, tighter no earlier). Tracked entries are cleared when their block
+// is flushed, which keeps the state linear in the requests since the last
+// flush.
+//
+// The accumulated dual objective is a certified lower bound on the optimal
+// (fractional) eviction cost — benches use it as the denominator for
+// competitive-ratio estimates where exact OPT is out of reach.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "algs/dual_verifier.hpp"
+#include "core/policy.hpp"
+#include "submodular/flush_coverage.hpp"
+
+namespace bac {
+
+class DetOnlineBlockAware final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "BA-Det(Alg1)"; }
+  void reset(const Instance& inst) override;
+  void on_request(Time t, PageId p, CacheOps& cache) override;
+
+  /// Feasible dual objective accumulated so far (lower bound on OPT_evict).
+  [[nodiscard]] double dual_objective() const noexcept { return dual_obj_; }
+  /// Number of flushes performed (primal cost = sum of their block costs).
+  [[nodiscard]] long long flushes() const noexcept { return flushes_; }
+  /// Primal cost paid so far (sum of flushed blocks' costs).
+  [[nodiscard]] double primal_cost() const noexcept { return primal_cost_; }
+
+  /// Test hook: maximum dual load observed relative to its block cost
+  /// (must stay <= 1 + epsilon for dual feasibility).
+  [[nodiscard]] double max_load_ratio() const noexcept {
+    return max_load_ratio_;
+  }
+
+  /// Record every dual increase with full state snapshots, enabling an
+  /// exhaustive off-line audit via audit_dual_feasibility. O(n) extra work
+  /// per overflow — tests and small experiments only.
+  void enable_event_log() { log_events_ = true; }
+  [[nodiscard]] const std::vector<DualEvent>& event_log() const noexcept {
+    return events_;
+  }
+
+ private:
+  struct Entry {
+    Time t = 0;
+    double load = 0;
+  };
+
+  const BlockMap* blocks_ = nullptr;
+  int k_ = 0;
+  std::optional<FlushCoverage> cov_;
+  std::optional<FlushSet> S_;
+  std::vector<std::vector<Entry>> entries_;  // per block, sorted by t
+  double dual_obj_ = 0;
+  double primal_cost_ = 0;
+  long long flushes_ = 0;
+  double max_load_ratio_ = 0;
+  bool log_events_ = false;
+  std::vector<DualEvent> events_;
+};
+
+}  // namespace bac

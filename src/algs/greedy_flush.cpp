@@ -1,0 +1,39 @@
+#include "algs/greedy_flush.hpp"
+
+#include <stdexcept>
+
+namespace bac {
+
+void GreedyFlushPolicy::reset(const Instance& inst) {
+  cached_count_.assign(static_cast<std::size_t>(inst.blocks.n_blocks()), 0);
+}
+
+void GreedyFlushPolicy::on_request(Time /*t*/, PageId p, CacheOps& cache) {
+  const BlockMap& blocks = cache.blocks();
+  const BlockId pb = blocks.block_of(p);
+  if (!cache.contains(p)) {
+    cache.fetch(p);  // free under eviction costs
+    ++cached_count_[static_cast<std::size_t>(pb)];
+  }
+  if (cache.size() <= cache.capacity()) return;
+
+  // Wolsey step: flush argmax_b evictable(b) / c_b. The requested page is
+  // protected, so its block's evictable count excludes it.
+  BlockId best = -1;
+  double best_ratio = 0;
+  for (BlockId b = 0; b < blocks.n_blocks(); ++b) {
+    int evictable = cached_count_[static_cast<std::size_t>(b)];
+    if (b == pb) --evictable;
+    if (evictable <= 0) continue;
+    const double ratio = static_cast<double>(evictable) / blocks.cost(b);
+    if (best < 0 || ratio > best_ratio) {
+      best = b;
+      best_ratio = ratio;
+    }
+  }
+  if (best < 0) throw std::logic_error("GreedyFlush: nothing evictable");
+  const int evicted = cache.flush_block(best, p);
+  cached_count_[static_cast<std::size_t>(best)] -= evicted;
+}
+
+}  // namespace bac

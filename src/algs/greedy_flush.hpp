@@ -1,0 +1,29 @@
+// Greedy flush policy: the online-greedy instantiation of Wolsey's
+// submodular cover on f_tau (in the spirit of [GL20b]'s online submodular
+// cover, which the paper builds on).
+//
+// At an overflow, flush the block maximizing (evictable pages) / cost —
+// exactly the Wolsey greedy step for the current constraint. This is a
+// natural strong heuristic for the eviction model: it has no worst-case
+// guarantee better than the trivial one (the primal-dual timing of
+// Algorithm 1 is what buys k-competitiveness), but it batches aggressively
+// and serves as the "clever practitioner" comparison point in the benches.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace bac {
+
+class GreedyFlushPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "GreedyFlush"; }
+  void reset(const Instance& inst) override;
+  void on_request(Time t, PageId p, CacheOps& cache) override;
+
+ private:
+  std::vector<int> cached_count_;  // cached pages per block
+};
+
+}  // namespace bac

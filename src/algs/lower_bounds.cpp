@@ -1,0 +1,41 @@
+#include "algs/lower_bounds.hpp"
+
+#include <stdexcept>
+
+#include "algs/opt.hpp"
+
+namespace bac {
+
+Cost lp_lower_bound(const Instance& inst, CostModel model,
+                    const SimplexOptions& options) {
+  const NaiveLpResult res = solve_naive_lp(inst, model, options);
+  if (res.status != LpStatus::Optimal)
+    throw std::runtime_error("lp_lower_bound: simplex did not converge");
+  return res.objective;
+}
+
+EvictionLowerBound eviction_lower_bound(const Instance& inst,
+                                        int exact_cutoff_pages,
+                                        long long max_lp_cells) {
+  EvictionLowerBound out;
+  if (inst.n_pages() <= exact_cutoff_pages) {
+    const OptResult r = exact_opt_eviction(inst);
+    if (r.exact) {
+      out.value = r.cost;
+      out.source = EvictionLowerBound::Source::Exact;
+      return out;
+    }
+  }
+  // Dense-simplex budget heuristic: (rows) x (cols) cells of the tableau.
+  const long long T = inst.horizon();
+  const long long n = inst.n_pages();
+  const long long rows = T * (n + 2);
+  const long long cols = T * (n + inst.blocks.n_blocks());
+  if (rows * cols <= max_lp_cells) {
+    out.value = lp_lower_bound(inst, CostModel::Eviction);
+    out.source = EvictionLowerBound::Source::Lp;
+  }
+  return out;
+}
+
+}  // namespace bac

@@ -1,0 +1,35 @@
+// Certified lower bounds on OPT for competitive-ratio denominators.
+//
+// Three sources, by instance size:
+//  - exact OPT (algs/opt.hpp) for toy instances,
+//  - the naive LP (A.1) value via simplex for small instances,
+//  - the dual objectives maintained by the primal-dual algorithms
+//    (DetOnlineBlockAware / FractionalBlockAware) for anything larger.
+// Every one of them lower-bounds the true optimum in its cost model, so
+// ratios computed against them only over-estimate the competitive ratio —
+// the safe direction for reproducing the paper's upper-bound claims.
+#pragma once
+
+#include "core/instance.hpp"
+#include "lp/naive_lp.hpp"
+
+namespace bac {
+
+/// Naive-LP lower bound on OPT in the given model. Throws if the simplex
+/// does not reach optimality within its pivot budget.
+Cost lp_lower_bound(const Instance& inst, CostModel model,
+                    const SimplexOptions& options = {});
+
+/// Best available lower bound on OPT_evict for an instance: exact OPT when
+/// n_pages <= `exact_cutoff_pages`, otherwise the LP value when the model
+/// is small enough for the dense simplex, otherwise 0 (caller falls back
+/// to a dual objective).
+struct EvictionLowerBound {
+  Cost value = 0;
+  enum class Source { Exact, Lp, None } source = Source::None;
+};
+EvictionLowerBound eviction_lower_bound(const Instance& inst,
+                                        int exact_cutoff_pages = 14,
+                                        long long max_lp_cells = 4'000'000);
+
+}  // namespace bac

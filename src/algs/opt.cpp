@@ -1,0 +1,222 @@
+#include "algs/opt.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace bac {
+
+namespace {
+
+using Mask = std::uint64_t;
+using Layer = std::unordered_map<Mask, Cost>;
+
+void relax(Layer& layer, Mask m, Cost c) {
+  auto [it, inserted] = layer.try_emplace(m, c);
+  if (!inserted && c < it->second) it->second = c;
+}
+
+/// Remove states dominated by another state with cost <= theirs whose cache
+/// is a superset (fetch model) or subset (eviction model).
+void prune_dominated(Layer& layer, bool superset_dominates) {
+  if (layer.size() > 4096) return;  // quadratic pass not worth it
+  std::vector<std::pair<Mask, Cost>> states(layer.begin(), layer.end());
+  std::vector<char> dead(states.size(), 0);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      const bool subset = (states[j].first & states[i].first) == states[j].first;
+      const bool superset =
+          (states[i].first & states[j].first) == states[i].first;
+      const bool dominated =
+          states[i].second >= states[j].second &&
+          (superset_dominates ? superset : subset) &&
+          (states[i].first != states[j].first);
+      if (dominated) {
+        dead[i] = 1;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < states.size(); ++i)
+    if (dead[i]) layer.erase(states[i].first);
+}
+
+struct Prepared {
+  std::vector<Mask> block_mask;
+  int n = 0;
+};
+
+Prepared prepare(const Instance& inst) {
+  inst.validate();
+  if (inst.n_pages() > 62)
+    throw std::invalid_argument("exact OPT: n_pages must be <= 62");
+  Prepared prep;
+  prep.n = inst.n_pages();
+  prep.block_mask.assign(static_cast<std::size_t>(inst.blocks.n_blocks()), 0);
+  for (PageId p = 0; p < inst.n_pages(); ++p)
+    prep.block_mask[static_cast<std::size_t>(inst.blocks.block_of(p))] |=
+        Mask{1} << p;
+  return prep;
+}
+
+/// Enumerate all size-`want` subsets of `pool` (list of page ids), invoking
+/// fn(evict_mask).
+template <typename Fn>
+void for_each_combination(const std::vector<PageId>& pool, int want, Fn&& fn) {
+  std::vector<int> idx(static_cast<std::size_t>(want));
+  const int n = static_cast<int>(pool.size());
+  if (want > n) return;
+  for (int i = 0; i < want; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (;;) {
+    Mask m = 0;
+    for (int i : idx) m |= Mask{1} << pool[static_cast<std::size_t>(i)];
+    fn(m);
+    // advance
+    int pos = want - 1;
+    while (pos >= 0 &&
+           idx[static_cast<std::size_t>(pos)] == n - want + pos)
+      --pos;
+    if (pos < 0) return;
+    ++idx[static_cast<std::size_t>(pos)];
+    for (int i = pos + 1; i < want; ++i)
+      idx[static_cast<std::size_t>(i)] = idx[static_cast<std::size_t>(i - 1)] + 1;
+  }
+}
+
+OptResult finish(const Layer& layer, bool exact, std::size_t peak) {
+  OptResult out;
+  out.exact = exact;
+  out.peak_layer_states = peak;
+  Cost best = std::numeric_limits<Cost>::infinity();
+  for (const auto& [m, c] : layer) best = std::min(best, c);
+  out.cost = best;
+  return out;
+}
+
+}  // namespace
+
+OptResult exact_opt_eviction(const Instance& inst, const OptLimits& limits) {
+  const Prepared prep = prepare(inst);
+  Layer layer;
+  layer.emplace(Mask{0}, 0.0);
+  std::size_t peak = 1;
+  bool exact = true;
+
+  for (Time t = 1; t <= inst.horizon(); ++t) {
+    const PageId p = inst.request_at(t);
+    const Mask pbit = Mask{1} << p;
+    Layer next;
+    for (const auto& [mask, cost] : layer) {
+      const Mask m1 = mask | pbit;  // fetch p (free in eviction model)
+      if (static_cast<int>(std::popcount(m1)) <= inst.k) {
+        relax(next, m1, cost);
+        continue;  // not overflowing: flushing now is dominated by deferring
+      }
+      // Overflow (|m1| == k+1): flush exactly one block holding a cached
+      // page other than p (deferring any additional flush dominates).
+      for (BlockId b = 0; b < inst.blocks.n_blocks(); ++b) {
+        const Mask bm = prep.block_mask[static_cast<std::size_t>(b)];
+        if ((m1 & bm & ~pbit) == 0) continue;  // nothing to evict
+        const Mask m2 = (m1 & ~bm) | pbit;
+        relax(next, m2, cost + inst.blocks.cost(b));
+      }
+    }
+    if (limits.dominance_pruning)
+      prune_dominated(next, /*superset_dominates=*/false);
+    if (next.size() > limits.max_layer_states) {
+      exact = false;
+      // Keep the cheapest states to produce a lower... upper bound; mark
+      // inexact. (Callers treat inexact results as heuristic upper bounds.)
+      std::vector<std::pair<Cost, Mask>> order;
+      order.reserve(next.size());
+      for (const auto& [m, c] : next) order.emplace_back(c, m);
+      std::nth_element(order.begin(),
+                       order.begin() + static_cast<std::ptrdiff_t>(
+                                           limits.max_layer_states),
+                       order.end());
+      Layer trimmed;
+      for (std::size_t i = 0; i < limits.max_layer_states; ++i)
+        trimmed.emplace(order[i].second, order[i].first);
+      next = std::move(trimmed);
+    }
+    peak = std::max(peak, next.size());
+    layer = std::move(next);
+  }
+  return finish(layer, exact, peak);
+}
+
+OptResult exact_opt_fetching(const Instance& inst, const OptLimits& limits) {
+  const Prepared prep = prepare(inst);
+  Layer layer;
+  layer.emplace(Mask{0}, 0.0);
+  std::size_t peak = 1;
+  bool exact = true;
+
+  for (Time t = 1; t <= inst.horizon(); ++t) {
+    const PageId p = inst.request_at(t);
+    const Mask pbit = Mask{1} << p;
+    const BlockId pb = inst.blocks.block_of(p);
+    const Mask pbm = prep.block_mask[static_cast<std::size_t>(pb)];
+    Layer next;
+
+    for (const auto& [mask, cost] : layer) {
+      if (mask & pbit) {
+        relax(next, mask, cost);  // hit: evictions are deferred (free)
+        continue;
+      }
+      // Miss: fetch any subset of the block containing p (one batched
+      // fetch), then evict exactly the overflow (free).
+      std::vector<PageId> others;  // block pages currently absent, != p
+      for (PageId q = 0; q < inst.n_pages(); ++q)
+        if ((pbm >> q) & 1)
+          if (q != p && !((mask >> q) & 1)) others.push_back(q);
+
+      const auto n_others = static_cast<std::uint32_t>(others.size());
+      for (std::uint32_t sub = 0; sub < (1u << n_others); ++sub) {
+        Mask fetched = pbit;
+        for (std::uint32_t i = 0; i < n_others; ++i)
+          if ((sub >> i) & 1)
+            fetched |= Mask{1} << others[static_cast<std::size_t>(i)];
+        const Mask m2 = mask | fetched;
+        const Cost cost2 = cost + inst.blocks.cost(pb);
+        const int excess = static_cast<int>(std::popcount(m2)) - inst.k;
+        if (excess <= 0) {
+          relax(next, m2, cost2);
+          continue;
+        }
+        std::vector<PageId> evictable;
+        for (PageId q = 0; q < inst.n_pages(); ++q)
+          if (((m2 >> q) & 1) && q != p) evictable.push_back(q);
+        for_each_combination(evictable, excess, [&](Mask evict_mask) {
+          relax(next, m2 & ~evict_mask, cost2);
+        });
+      }
+    }
+    if (limits.dominance_pruning)
+      prune_dominated(next, /*superset_dominates=*/true);
+    if (next.size() > limits.max_layer_states) {
+      exact = false;
+      std::vector<std::pair<Cost, Mask>> order;
+      order.reserve(next.size());
+      for (const auto& [m, c] : next) order.emplace_back(c, m);
+      std::nth_element(order.begin(),
+                       order.begin() + static_cast<std::ptrdiff_t>(
+                                           limits.max_layer_states),
+                       order.end());
+      Layer trimmed;
+      for (std::size_t i = 0; i < limits.max_layer_states; ++i)
+        trimmed.emplace(order[i].second, order[i].first);
+      next = std::move(trimmed);
+    }
+    peak = std::max(peak, next.size());
+    layer = std::move(next);
+  }
+  return finish(layer, exact, peak);
+}
+
+}  // namespace bac

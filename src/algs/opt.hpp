@@ -1,0 +1,44 @@
+// Exact offline OPT by layered dynamic programming over cache states.
+//
+// Block-aware caching is NP-hard offline (it generalizes generalized
+// caching), so exact OPT is exponential; these solvers are intended for the
+// small instances that anchor competitive-ratio measurements and tests
+// (n <= ~20 pages, T <= ~300). Beyond that, use the LP value
+// (lp/naive_lp.hpp) or the primal-dual duals as lower bounds.
+//
+// Both solvers exploit the normal forms argued in DESIGN.md:
+//  - Eviction model: WLOG evictions are whole-block flushes (refetching is
+//    free) performed at request times, and only the requested page is ever
+//    fetched. Transitions enumerate all subsets of flushable blocks.
+//  - Fetching model: WLOG fetches happen only on a miss, from the requested
+//    page's block (any subset containing the page), and evictions (free)
+//    happen only to restore capacity, evicting exactly the overflow.
+//
+// Dominance pruning: in the fetching model a superset cache with no higher
+// cost dominates; in the eviction model a subset cache dominates.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+
+namespace bac {
+
+struct OptLimits {
+  std::size_t max_layer_states = 200'000;  ///< abort threshold per layer
+  bool dominance_pruning = true;
+};
+
+struct OptResult {
+  Cost cost = 0;
+  bool exact = false;  ///< false if the state limit was hit
+  std::size_t peak_layer_states = 0;
+};
+
+/// Exact minimum batched eviction cost (requires n_pages <= 62).
+OptResult exact_opt_eviction(const Instance& inst, const OptLimits& = {});
+
+/// Exact minimum batched fetching cost (requires n_pages <= 62).
+OptResult exact_opt_fetching(const Instance& inst, const OptLimits& = {});
+
+}  // namespace bac

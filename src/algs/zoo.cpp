@@ -1,0 +1,34 @@
+#include "algs/zoo.hpp"
+
+#include "algs/classical/classical.hpp"
+#include "algs/det_online.hpp"
+#include "algs/greedy_flush.hpp"
+#include "algs/rounding.hpp"
+#include "algs/threshold_bicriteria.hpp"
+
+namespace bac {
+
+std::vector<std::unique_ptr<OnlinePolicy>> make_policy_zoo(
+    ZooSelection selection) {
+  std::vector<std::unique_ptr<OnlinePolicy>> zoo;
+  if (selection != ZooSelection::BlockAware) {
+    zoo.push_back(std::make_unique<LruPolicy>());
+    zoo.push_back(std::make_unique<FifoPolicy>());
+    zoo.push_back(std::make_unique<LfuPolicy>());
+    zoo.push_back(std::make_unique<MarkingPolicy>());
+    zoo.push_back(std::make_unique<GreedyDualPolicy>());
+    zoo.push_back(std::make_unique<BeladyPolicy>());
+  }
+  if (selection != ZooSelection::Classical) {
+    zoo.push_back(std::make_unique<BlockLruPolicy>(/*prefetch=*/false));
+    zoo.push_back(std::make_unique<BlockLruPolicy>(/*prefetch=*/true));
+    zoo.push_back(std::make_unique<GreedyFlushPolicy>());
+    zoo.push_back(std::make_unique<DetOnlineBlockAware>());
+    zoo.push_back(std::make_unique<RandomizedBlockAware>());
+    zoo.push_back(std::make_unique<ThresholdBicriteriaPolicy>(
+        ThresholdBicriteriaPolicy::Mode::Fetching));
+  }
+  return zoo;
+}
+
+}  // namespace bac

@@ -1,0 +1,20 @@
+// Factory for the full policy line-up used by head-to-head benchmarks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace bac {
+
+enum class ZooSelection {
+  Classical,  ///< block-oblivious baselines only
+  BlockAware, ///< the paper's algorithms + block heuristics
+  All,
+};
+
+std::vector<std::unique_ptr<OnlinePolicy>> make_policy_zoo(
+    ZooSelection selection = ZooSelection::All);
+
+}  // namespace bac

@@ -1,0 +1,61 @@
+#include "core/block_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bac {
+
+BlockMap::BlockMap(std::vector<BlockId> page_to_block,
+                   std::vector<Cost> block_costs)
+    : page_to_block_(std::move(page_to_block)),
+      block_costs_(std::move(block_costs)) {
+  if (block_costs_.empty()) throw std::invalid_argument("BlockMap: no blocks");
+  const auto n_blocks = block_costs_.size();
+  for (Cost c : block_costs_)
+    if (!(c > 0)) throw std::invalid_argument("BlockMap: costs must be > 0");
+
+  std::vector<std::size_t> sizes(n_blocks, 0);
+  for (BlockId b : page_to_block_) {
+    if (b < 0 || static_cast<std::size_t>(b) >= n_blocks)
+      throw std::invalid_argument("BlockMap: page assigned to invalid block");
+    ++sizes[static_cast<std::size_t>(b)];
+  }
+
+  block_offsets_.assign(n_blocks + 1, 0);
+  for (std::size_t b = 0; b < n_blocks; ++b)
+    block_offsets_[b + 1] = block_offsets_[b] + sizes[b];
+  block_pages_.resize(page_to_block_.size());
+  std::vector<std::size_t> cursor(block_offsets_.begin(),
+                                  block_offsets_.end() - 1);
+  for (PageId p = 0; p < n_pages(); ++p)
+    block_pages_[cursor[static_cast<std::size_t>(page_to_block_[static_cast<std::size_t>(p)])]++] = p;
+
+  beta_ = static_cast<int>(*std::max_element(sizes.begin(), sizes.end()));
+  min_cost_ = *std::min_element(block_costs_.begin(), block_costs_.end());
+  max_cost_ = *std::max_element(block_costs_.begin(), block_costs_.end());
+  total_cost_ = 0;
+  for (Cost c : block_costs_) total_cost_ += c;
+}
+
+BlockMap BlockMap::contiguous(int n_pages, int block_size, Cost cost) {
+  if (n_pages <= 0 || block_size <= 0)
+    throw std::invalid_argument("BlockMap::contiguous: sizes must be > 0");
+  const int n_blocks = (n_pages + block_size - 1) / block_size;
+  return contiguous_weighted(n_pages, block_size,
+                             std::vector<Cost>(static_cast<std::size_t>(n_blocks), cost));
+}
+
+BlockMap BlockMap::contiguous_weighted(int n_pages, int block_size,
+                                       std::vector<Cost> block_costs) {
+  if (n_pages <= 0 || block_size <= 0)
+    throw std::invalid_argument("BlockMap: sizes must be > 0");
+  const int n_blocks = (n_pages + block_size - 1) / block_size;
+  if (static_cast<int>(block_costs.size()) != n_blocks)
+    throw std::invalid_argument("BlockMap: wrong number of block costs");
+  std::vector<BlockId> assign(static_cast<std::size_t>(n_pages));
+  for (int p = 0; p < n_pages; ++p)
+    assign[static_cast<std::size_t>(p)] = p / block_size;
+  return {std::move(assign), std::move(block_costs)};
+}
+
+}  // namespace bac

@@ -1,0 +1,67 @@
+// Partition of the page universe into blocks with per-block costs.
+//
+// This is the static structure of a block-aware caching instance: fetching
+// (or evicting) any non-empty subset of one block in one time step costs the
+// block's cost c_B once (Section 2 of the paper). The weighted setting
+// (per-block costs, aspect ratio Delta) is supported throughout.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace bac {
+
+class BlockMap {
+ public:
+  /// Build from an explicit page -> block assignment and per-block costs.
+  /// Requires every block id in [0, block_costs.size()) and positive costs.
+  BlockMap(std::vector<BlockId> page_to_block, std::vector<Cost> block_costs);
+
+  /// n pages in contiguous blocks of `block_size` (last may be smaller),
+  /// all with the same cost. The unweighted setting of the paper.
+  static BlockMap contiguous(int n_pages, int block_size, Cost cost = 1.0);
+
+  /// n pages in contiguous blocks of `block_size` with explicit costs
+  /// (size must equal ceil(n_pages / block_size)).
+  static BlockMap contiguous_weighted(int n_pages, int block_size,
+                                      std::vector<Cost> block_costs);
+
+  [[nodiscard]] int n_pages() const noexcept {
+    return static_cast<int>(page_to_block_.size());
+  }
+  [[nodiscard]] int n_blocks() const noexcept {
+    return static_cast<int>(block_costs_.size());
+  }
+  [[nodiscard]] BlockId block_of(PageId p) const { return page_to_block_[static_cast<std::size_t>(p)]; }
+  [[nodiscard]] Cost cost(BlockId b) const { return block_costs_[static_cast<std::size_t>(b)]; }
+  [[nodiscard]] std::span<const PageId> pages_in(BlockId b) const {
+    const auto begin = block_offsets_[static_cast<std::size_t>(b)];
+    const auto end = block_offsets_[static_cast<std::size_t>(b) + 1];
+    return {block_pages_.data() + begin, block_pages_.data() + end};
+  }
+  [[nodiscard]] int block_size(BlockId b) const {
+    return static_cast<int>(pages_in(b).size());
+  }
+
+  /// beta: the maximum block size.
+  [[nodiscard]] int beta() const noexcept { return beta_; }
+  [[nodiscard]] Cost min_cost() const noexcept { return min_cost_; }
+  [[nodiscard]] Cost max_cost() const noexcept { return max_cost_; }
+  /// Delta = c_max / c_min.
+  [[nodiscard]] double aspect_ratio() const noexcept {
+    return max_cost_ / min_cost_;
+  }
+  [[nodiscard]] Cost total_block_cost() const noexcept { return total_cost_; }
+
+ private:
+  std::vector<BlockId> page_to_block_;
+  std::vector<Cost> block_costs_;
+  std::vector<PageId> block_pages_;        // pages grouped by block
+  std::vector<std::size_t> block_offsets_; // n_blocks + 1 offsets into block_pages_
+  int beta_ = 0;
+  Cost min_cost_ = 0, max_cost_ = 0, total_cost_ = 0;
+};
+
+}  // namespace bac

@@ -1,0 +1,58 @@
+// Cache contents: O(1) membership, insert, erase; iterable member list.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace bac {
+
+class CacheSet {
+ public:
+  explicit CacheSet(int n_pages)
+      : position_(static_cast<std::size_t>(n_pages), kAbsent) {}
+
+  [[nodiscard]] bool contains(PageId p) const {
+    return position_[static_cast<std::size_t>(p)] != kAbsent;
+  }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(members_.size());
+  }
+  [[nodiscard]] const std::vector<PageId>& pages() const noexcept {
+    return members_;
+  }
+
+  /// Returns true if the page was newly inserted.
+  bool insert(PageId p) {
+    auto& pos = position_[static_cast<std::size_t>(p)];
+    if (pos != kAbsent) return false;
+    pos = static_cast<std::int32_t>(members_.size());
+    members_.push_back(p);
+    return true;
+  }
+
+  /// Returns true if the page was present (swap-remove, O(1)).
+  bool erase(PageId p) {
+    auto& pos = position_[static_cast<std::size_t>(p)];
+    if (pos == kAbsent) return false;
+    const PageId moved = members_.back();
+    members_[static_cast<std::size_t>(pos)] = moved;
+    position_[static_cast<std::size_t>(moved)] = pos;
+    members_.pop_back();
+    pos = kAbsent;
+    return true;
+  }
+
+  void clear() {
+    for (PageId p : members_) position_[static_cast<std::size_t>(p)] = kAbsent;
+    members_.clear();
+  }
+
+ private:
+  static constexpr std::int32_t kAbsent = -1;
+  std::vector<std::int32_t> position_;  // index into members_, or kAbsent
+  std::vector<PageId> members_;
+};
+
+}  // namespace bac

@@ -1,0 +1,116 @@
+// Policy interfaces and the cache-operations facade handed to policies.
+//
+// A policy serves each request by mutating the cache through CacheOps;
+// the simulator owns the actual cache state and cost meter, audits
+// feasibility after every step, and reports costs under both cost models.
+// Offline algorithms receive the full Instance in reset() and may read the
+// future; online algorithms must only use what they have seen (the tests
+// include a prefix-consistency check for the online ones).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/cache_set.hpp"
+#include "core/cost_meter.hpp"
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace bac {
+
+/// Mutating facade over the simulator's cache; all costs flow through here.
+class CacheOps {
+ public:
+  CacheOps(const BlockMap& blocks, CacheSet& cache, CostMeter& meter, int k)
+      : blocks_(&blocks), cache_(&cache), meter_(&meter), k_(k) {}
+
+  [[nodiscard]] bool contains(PageId p) const { return cache_->contains(p); }
+  [[nodiscard]] int size() const { return cache_->size(); }
+  [[nodiscard]] int capacity() const noexcept { return k_; }
+  [[nodiscard]] const std::vector<PageId>& pages() const {
+    return cache_->pages();
+  }
+  [[nodiscard]] const BlockMap& blocks() const { return *blocks_; }
+
+  /// Insert p, charging the fetch side of its block (no-op if present).
+  void fetch(PageId p) {
+    if (cache_->insert(p)) {
+      meter_->on_fetch(p);
+      if (capture_fetches_) capture_note(p, *capture_fetches_, *capture_evictions_);
+    }
+  }
+
+  /// Remove p, charging the eviction side of its block (no-op if absent).
+  void evict(PageId p) {
+    if (cache_->erase(p)) {
+      meter_->on_evict(p);
+      if (capture_evictions_) capture_note(p, *capture_evictions_, *capture_fetches_);
+    }
+  }
+
+  /// Route effective fetches/evictions into the given vectors (used by the
+  /// simulator's schedule capture; pass nullptrs to disable). Captured
+  /// steps record the *net* page movement: a fetch-then-evict of the same
+  /// page within one step cancels out, so replays are state-exact (the
+  /// transient's cost is still metered on the live run but not by a
+  /// replay — no policy in this library exhibits that pattern except a
+  /// corner of BlockLRU+Prefetch).
+  void set_capture(std::vector<PageId>* evictions,
+                   std::vector<PageId>* fetches) {
+    capture_evictions_ = evictions;
+    capture_fetches_ = fetches;
+  }
+
+  /// Evict every cached page of block b except `keep` (pass -1 to evict
+  /// all). Returns the number of pages evicted. This is the paper's "flush".
+  int flush_block(BlockId b, PageId keep = -1) {
+    int evicted = 0;
+    for (PageId p : blocks_->pages_in(b)) {
+      if (p == keep) continue;
+      if (cache_->contains(p)) {
+        evict(p);
+        ++evicted;
+      }
+    }
+    return evicted;
+  }
+
+ private:
+  static void capture_note(PageId p, std::vector<PageId>& add,
+                           std::vector<PageId>& cancel) {
+    for (std::size_t i = 0; i < cancel.size(); ++i) {
+      if (cancel[i] == p) {
+        cancel.erase(cancel.begin() + static_cast<std::ptrdiff_t>(i));
+        return;  // net no-op within this step
+      }
+    }
+    add.push_back(p);
+  }
+
+  const BlockMap* blocks_;
+  CacheSet* cache_;
+  CostMeter* meter_;
+  int k_;
+  std::vector<PageId>* capture_evictions_ = nullptr;
+  std::vector<PageId>* capture_fetches_ = nullptr;
+};
+
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once before a run. Offline policies may precompute from the
+  /// full instance here.
+  virtual void reset(const Instance& inst) = 0;
+
+  /// Reseed internal randomness (no-op for deterministic policies).
+  virtual void seed(std::uint64_t /*seed*/) {}
+
+  /// Serve the request to page p at time t. Postconditions audited by the
+  /// simulator: p is cached and size() <= capacity().
+  virtual void on_request(Time t, PageId p, CacheOps& cache) = 0;
+};
+
+}  // namespace bac

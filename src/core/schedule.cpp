@@ -1,0 +1,56 @@
+#include "core/schedule.hpp"
+
+#include <stdexcept>
+
+namespace bac {
+
+ScheduleCost evaluate(const Instance& inst, const Schedule& sched) {
+  inst.validate();
+  ScheduleCost out;
+  if (sched.horizon() != inst.horizon()) {
+    out.feasible = false;
+    out.infeasibility = "schedule horizon mismatch";
+    return out;
+  }
+
+  CacheSet cache(inst.n_pages());
+  CostMeter meter(inst.blocks);
+  const Time T = inst.horizon();
+  for (Time t = 1; t <= T; ++t) {
+    meter.begin_step(t);
+    const auto& step = sched.steps[static_cast<std::size_t>(t - 1)];
+    for (PageId p : step.evictions)
+      if (cache.erase(p)) meter.on_evict(p);
+    for (PageId p : step.fetches)
+      if (cache.insert(p)) meter.on_fetch(p);
+
+    const PageId req = inst.request_at(t);
+    if (!cache.contains(req)) {
+      out.feasible = false;
+      if (out.infeasibility.empty())
+        out.infeasibility =
+            "requested page absent at t=" + std::to_string(t);
+    }
+    if (cache.size() > inst.k) {
+      out.feasible = false;
+      if (out.infeasibility.empty())
+        out.infeasibility = "capacity exceeded at t=" + std::to_string(t);
+    }
+  }
+  out.eviction_cost = meter.eviction_cost();
+  out.fetch_cost = meter.fetch_cost();
+  return out;
+}
+
+void SchedulePolicy::reset(const Instance& inst) {
+  if (sched_.horizon() != inst.horizon())
+    throw std::invalid_argument("SchedulePolicy: horizon mismatch");
+}
+
+void SchedulePolicy::on_request(Time t, PageId /*p*/, CacheOps& cache) {
+  const auto& step = sched_.steps[static_cast<std::size_t>(t - 1)];
+  for (PageId q : step.evictions) cache.evict(q);
+  for (PageId q : step.fetches) cache.fetch(q);
+}
+
+}  // namespace bac

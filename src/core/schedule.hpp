@@ -1,0 +1,57 @@
+// Explicit offline schedules: per-step fetch/evict page lists.
+//
+// Exact OPT solvers and LP roundings produce a Schedule; `evaluate`
+// replays it through the simulator's accounting and feasibility audit, so
+// offline solutions are scored by exactly the same meter as online policies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "core/types.hpp"
+
+namespace bac {
+
+struct Schedule {
+  /// actions[i] applies at time t = i+1, before serving requests[i]:
+  /// evictions first, then fetches (the requested page must end up cached).
+  struct Step {
+    std::vector<PageId> evictions;
+    std::vector<PageId> fetches;
+  };
+  std::vector<Step> steps;
+
+  [[nodiscard]] Time horizon() const noexcept {
+    return static_cast<Time>(steps.size());
+  }
+};
+
+struct ScheduleCost {
+  Cost eviction_cost = 0;
+  Cost fetch_cost = 0;
+  bool feasible = true;
+  std::string infeasibility;  // first violation, for diagnostics
+};
+
+/// Replay `sched` on `inst`, return batched costs and feasibility.
+ScheduleCost evaluate(const Instance& inst, const Schedule& sched);
+
+/// Adapter: replay a schedule as an OnlinePolicy (for the simulator and
+/// for head-to-head tables that mix online and offline algorithms).
+class SchedulePolicy final : public OnlinePolicy {
+ public:
+  explicit SchedulePolicy(Schedule sched, std::string name = "Schedule")
+      : sched_(std::move(sched)), name_(std::move(name)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void reset(const Instance& inst) override;
+  void on_request(Time t, PageId p, CacheOps& cache) override;
+
+ private:
+  Schedule sched_;
+  std::string name_;
+};
+
+}  // namespace bac

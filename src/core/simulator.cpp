@@ -1,0 +1,103 @@
+#include "core/simulator.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace bac {
+
+RunResult simulate(const Instance& inst, OnlinePolicy& policy,
+                   const SimOptions& options) {
+  inst.validate();
+  CacheSet cache(inst.n_pages());
+  CostMeter meter(inst.blocks);
+  CacheOps ops(inst.blocks, cache, meter, inst.k);
+
+  policy.reset(inst);
+  policy.seed(options.seed);
+
+  RunResult result;
+  const Time T = inst.horizon();
+  if (options.record_steps) {
+    result.step_eviction_cost.reserve(static_cast<std::size_t>(T));
+    result.step_fetch_cost.reserve(static_cast<std::size_t>(T));
+  }
+  if (options.record_schedule)
+    result.schedule.steps.resize(static_cast<std::size_t>(T));
+
+  Cost prev_evict = 0, prev_fetch = 0;
+  for (Time t = 1; t <= T; ++t) {
+    const PageId p = inst.request_at(t);
+    meter.begin_step(t);
+    if (options.record_schedule) {
+      auto& step = result.schedule.steps[static_cast<std::size_t>(t - 1)];
+      ops.set_capture(&step.evictions, &step.fetches);
+    }
+    if (!cache.contains(p)) ++result.misses;
+    policy.on_request(t, p, ops);
+
+    // Feasibility audit: requested page present, capacity respected.
+    if (!cache.contains(p)) {
+      if (options.throw_on_violation)
+        throw std::runtime_error("simulate: policy " + policy.name() +
+                                 " left requested page uncached at t=" +
+                                 std::to_string(t));
+      ++result.violations;
+      ops.fetch(p);
+    }
+    if (cache.size() > inst.k) {
+      if (options.throw_on_violation)
+        throw std::runtime_error("simulate: policy " + policy.name() +
+                                 " exceeded capacity at t=" + std::to_string(t));
+      ++result.violations;
+      // Repair: evict arbitrary non-requested pages.
+      while (cache.size() > inst.k) {
+        for (PageId q : cache.pages()) {
+          if (q != p) {
+            ops.evict(q);
+            break;
+          }
+        }
+      }
+    }
+
+    if (options.record_steps) {
+      result.step_eviction_cost.push_back(meter.eviction_cost() - prev_evict);
+      result.step_fetch_cost.push_back(meter.fetch_cost() - prev_fetch);
+      prev_evict = meter.eviction_cost();
+      prev_fetch = meter.fetch_cost();
+    }
+  }
+
+  result.eviction_cost = meter.eviction_cost();
+  result.fetch_cost = meter.fetch_cost();
+  result.classic_eviction_cost = meter.classic_eviction_cost();
+  result.classic_fetch_cost = meter.classic_fetch_cost();
+  result.evict_block_events = meter.evict_block_events();
+  result.fetch_block_events = meter.fetch_block_events();
+  result.evicted_pages = meter.evicted_pages();
+  result.fetched_pages = meter.fetched_pages();
+  return result;
+}
+
+MonteCarloResult simulate_mc(const Instance& inst, OnlinePolicy& policy,
+                             int trials, std::uint64_t root_seed) {
+  StreamingStats evict, fetch;
+  for (int i = 0; i < trials; ++i) {
+    SimOptions options;
+    options.seed = root_seed + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+    const RunResult r = simulate(inst, policy, options);
+    evict.add(r.eviction_cost);
+    fetch.add(r.fetch_cost);
+  }
+  MonteCarloResult out;
+  out.mean_eviction_cost = evict.mean();
+  out.mean_fetch_cost = fetch.mean();
+  out.stddev_eviction_cost = evict.stddev();
+  out.stddev_fetch_cost = fetch.stddev();
+  out.trials = trials;
+  return out;
+}
+
+}  // namespace bac

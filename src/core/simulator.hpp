@@ -1,0 +1,54 @@
+// Replayable simulator: drives a policy over an instance, audits
+// feasibility at every step, and accumulates costs under both cost models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace bac {
+
+struct SimOptions {
+  std::uint64_t seed = 1;        ///< forwarded to OnlinePolicy::seed
+  bool record_steps = false;     ///< keep per-step cost series
+  bool record_schedule = false;  ///< capture the policy's actions
+  bool throw_on_violation = true;///< throw instead of silently repairing
+};
+
+struct RunResult {
+  Cost eviction_cost = 0;
+  Cost fetch_cost = 0;
+  Cost classic_eviction_cost = 0;
+  Cost classic_fetch_cost = 0;
+  long long evict_block_events = 0;
+  long long fetch_block_events = 0;
+  long long evicted_pages = 0;
+  long long fetched_pages = 0;
+  long long misses = 0;  ///< requests not already cached
+  int violations = 0;    ///< feasibility repairs (0 for a correct policy)
+  std::vector<Cost> step_eviction_cost;  // filled when record_steps
+  std::vector<Cost> step_fetch_cost;
+  Schedule schedule;  ///< the policy's actions, when record_schedule
+};
+
+/// Run `policy` over `inst`. The cache starts empty (the paper's convention:
+/// time-0 flushes are free, i.e. initial contents are irrelevant).
+RunResult simulate(const Instance& inst, OnlinePolicy& policy,
+                   const SimOptions& options = {});
+
+/// Mean costs over `trials` seeds (for randomized policies).
+struct MonteCarloResult {
+  double mean_eviction_cost = 0;
+  double mean_fetch_cost = 0;
+  double stddev_eviction_cost = 0;
+  double stddev_fetch_cost = 0;
+  int trials = 0;
+};
+MonteCarloResult simulate_mc(const Instance& inst, OnlinePolicy& policy,
+                             int trials, std::uint64_t root_seed = 1);
+
+}  // namespace bac

@@ -1,0 +1,24 @@
+// Fundamental identifier and cost types for the block-aware caching model.
+//
+// Conventions used throughout the library (matching the paper, Section 2):
+//   - Pages are 0..n-1, blocks are 0..m-1; each page belongs to one block.
+//   - Requests happen at times t = 1..T (1-based, as in the paper).
+//   - Flushes/evictions may also be scheduled at time 0 ("clear the initial
+//     cache for free"); r(p, t) == kNeverRequested (= -1) for pages never
+//     requested up to t, so the paper's condition r(p,tau) < t <= tau works
+//     verbatim with integer times.
+#pragma once
+
+#include <cstdint>
+
+namespace bac {
+
+using PageId = std::int32_t;
+using BlockId = std::int32_t;
+using Time = std::int32_t;
+using Cost = double;
+
+/// r(p, t) value when page p has not been requested at or before t.
+inline constexpr Time kNeverRequested = -1;
+
+}  // namespace bac

@@ -1,0 +1,42 @@
+// Builder/solver for the paper's naive LP relaxation (Appendix A.1 / (A.1)).
+//
+// Variables: x_p^t = fraction of page p missing from cache at time t,
+// phi_B^t = fractional extent block B is evicted (sigma = +1) or fetched
+// (sigma = -1) at time t. The LP is a valid relaxation of block-aware
+// caching in the corresponding cost model, so its value lower-bounds OPT —
+// but it has an Omega(beta) integrality gap (Theorem A.1), which
+// bench_integrality_gap reproduces with this exact code path.
+//
+// Conventions: t = 1..T; x_p^0 == 1 (the cache starts empty). The requested
+// page's variable x_{p_t}^t is fixed to 0 at build time. phi upper bounds
+// are omitted — they are slack at any optimum since x in [0,1].
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "lp/simplex.hpp"
+
+namespace bac {
+
+enum class CostModel { Eviction, Fetching };
+
+struct NaiveLpResult {
+  LpStatus status = LpStatus::IterationLimit;
+  double objective = 0;
+  long long pivots = 0;
+  /// x[t][p] for t = 0..T (x[0][p] == 1).
+  std::vector<std::vector<double>> x;
+  /// phi[t][b] for t = 0..T (phi[0] unused, all zeros).
+  std::vector<std::vector<double>> phi;
+};
+
+/// Build LP (A.1) for `model` on `inst`.
+LpProblem build_naive_lp(const Instance& inst, CostModel model);
+
+/// Build, solve and unpack. Instances should be small (the tableau is
+/// dense): roughly T * n <= 20'000.
+NaiveLpResult solve_naive_lp(const Instance& inst, CostModel model,
+                             const SimplexOptions& options = {});
+
+}  // namespace bac

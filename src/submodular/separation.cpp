@@ -1,0 +1,259 @@
+#include "submodular/separation.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace bac {
+
+namespace {
+
+/// Iterator to the first entry of `list` with time strictly greater than m
+/// (entries are sorted by time; dead entries are skipped wholesale).
+auto first_live(const std::vector<FlushVars::Entry>& list, Time m) {
+  return std::upper_bound(
+      list.begin(), list.end(), m,
+      [](Time t, const FlushVars::Entry& e) { return t < e.t; });
+}
+
+}  // namespace
+
+double constraint_lhs(const FlushSet& sprime, const FlushVars& phi) {
+  const FlushCoverage& cov = sprime.coverage();
+  const int cap = cov.cap();
+  const int g = sprime.g();
+  if (g >= cap) return 0.0;  // rhs is 0 too; constraint trivially holds
+  double lhs = 0;
+  for (BlockId b = 0; b < cov.blocks().n_blocks(); ++b) {
+    const Time m = sprime.max_flush(b);
+    const auto& list = phi.entries(b);
+    for (auto it = first_live(list, m); it != list.end(); ++it) {
+      if (it->phi <= 0) continue;
+      const int gm = sprime.g_marginal(b, it->t);
+      if (gm <= 0) continue;
+      lhs += static_cast<double>(std::min(gm, cap - g)) * it->phi;
+    }
+  }
+  return lhs;
+}
+
+namespace {
+
+/// Evaluate the constraint for `sprime`; return Violation if violated.
+std::optional<Violation> check(const FlushSet& sprime, const FlushVars& phi,
+                               double tolerance) {
+  const double rhs =
+      static_cast<double>(sprime.coverage().cap() - sprime.f());
+  if (rhs <= 0) return std::nullopt;
+  const double lhs = constraint_lhs(sprime, phi);
+  if (lhs < rhs - tolerance) return Violation{sprime, lhs, rhs};
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Violation> ThresholdSeparation::find_violated(
+    const FlushSet& S, const FlushVars& phi) {
+  // Candidate thresholds: phi values of live entries, bucketed to at most
+  // ~2 per power of two (a geometric net) so a call costs
+  // O(buckets * live entries) rather than O(live entries^2).
+  const FlushCoverage& cov = S.coverage();
+  std::vector<double> thresholds;
+  for (BlockId b = 0; b < cov.blocks().n_blocks(); ++b) {
+    const auto& list = phi.entries(b);
+    for (auto it = first_live(list, S.max_flush(b)); it != list.end(); ++it)
+      if (it->phi > 0) thresholds.push_back(it->phi);
+  }
+  std::sort(thresholds.begin(), thresholds.end(), std::greater<>());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+  if (thresholds.size() > 40) {
+    std::vector<double> netted;
+    netted.reserve(48);
+    double last = std::numeric_limits<double>::infinity();
+    for (double v : thresholds) {
+      if (v <= last / 1.3) {
+        netted.push_back(v);
+        last = v;
+      }
+    }
+    if (!netted.empty() && netted.back() != thresholds.back())
+      netted.push_back(thresholds.back());
+    thresholds = std::move(netted);
+  }
+
+  // S itself first (theta = +infinity).
+  std::optional<Violation> best = check(S, phi, tolerance_);
+  if (best) return best;
+
+  for (double theta : thresholds) {
+    FlushSet sprime = S;
+    for (BlockId b = 0; b < cov.blocks().n_blocks(); ++b) {
+      const Time m = S.max_flush(b);
+      // Add the *latest* qualifying entry per block; earlier qualifying
+      // entries are then dominated (only the max flush time matters).
+      Time best_t = kNeverRequested;
+      const auto& list = phi.entries(b);
+      for (auto it = first_live(list, m); it != list.end(); ++it)
+        if (it->phi >= theta) best_t = std::max(best_t, it->t);
+      if (best_t != kNeverRequested) sprime.add_flush(b, best_t);
+    }
+    if (auto v = check(sprime, phi, tolerance_)) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> DpSeparation::find_violated(const FlushSet& S,
+                                                     const FlushVars& phi) {
+  const FlushCoverage& cov = S.coverage();
+  const int n_blocks = cov.blocks().n_blocks();
+  const int cap = cov.cap();
+  if (cap <= 0) return std::nullopt;
+
+  // Per-block candidate max flush times (>= the block's time in S).
+  std::vector<std::vector<Time>> candidates(
+      static_cast<std::size_t>(n_blocks));
+  for (BlockId b = 0; b < n_blocks; ++b) {
+    auto& cand = candidates[static_cast<std::size_t>(b)];
+    const Time m = S.max_flush(b);
+    cand.push_back(m);
+    for (const FlushVars::Entry& e : phi.entries(b))
+      if (e.t > m && e.t <= cov.now()) cand.push_back(e.t);
+    for (Time t : cov.alive_times(b))
+      if (t > m && t <= cov.now()) cand.push_back(t);
+    if (cov.now() > m) cand.push_back(cov.now());
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+  }
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::optional<Violation> worst;
+
+  // G is the g-mass *added* to S by the extra flushes; g(S') = g(S) + G.
+  for (int G = 0; S.g() + G < cap; ++G) {
+    const int capg = cap - (S.g() + G);  // marginal cap and the RHS
+    // dp[g] = minimal LHS using a prefix of blocks with total g-level g;
+    // choice[b][g] records the winning candidate index for reconstruction.
+    std::vector<double> dp(static_cast<std::size_t>(G) + 1, kInf);
+    dp[0] = 0;
+    std::vector<std::vector<std::int16_t>> choice(
+        static_cast<std::size_t>(n_blocks),
+        std::vector<std::int16_t>(static_cast<std::size_t>(G) + 1, -1));
+
+    for (BlockId b = 0; b < n_blocks; ++b) {
+      const auto& cand = candidates[static_cast<std::size_t>(b)];
+      const Time m = S.max_flush(b);
+      const int base = (m == kNeverRequested) ? 0 : cov.count_below(b, m);
+      // Precompute (g_b, L_b) per candidate.
+      std::vector<std::pair<int, double>> options;
+      options.reserve(cand.size());
+      for (Time mb : cand) {
+        const int cnt =
+            (mb == kNeverRequested) ? 0 : cov.count_below(b, mb);
+        const int gb = cnt - base;
+        double lb = 0;
+        for (const FlushVars::Entry& e : phi.entries(b)) {
+          if (e.t <= mb || e.phi <= 0 || e.t > cov.now()) continue;
+          const int gm = cov.count_below(b, e.t) - cnt;
+          if (gm > 0) lb += static_cast<double>(std::min(gm, capg)) * e.phi;
+        }
+        options.emplace_back(gb, lb);
+      }
+      std::vector<double> next(static_cast<std::size_t>(G) + 1, kInf);
+      for (int g = 0; g <= G; ++g) {
+        if (dp[static_cast<std::size_t>(g)] == kInf) continue;
+        for (std::size_t ci = 0; ci < options.size(); ++ci) {
+          const auto& [gb, lb] = options[ci];
+          const int g2 = g + gb;
+          if (g2 > G) continue;
+          const double v = dp[static_cast<std::size_t>(g)] + lb;
+          if (v < next[static_cast<std::size_t>(g2)]) {
+            next[static_cast<std::size_t>(g2)] = v;
+            choice[static_cast<std::size_t>(b)]
+                  [static_cast<std::size_t>(g2)] =
+                static_cast<std::int16_t>(ci);
+          }
+        }
+      }
+      dp = std::move(next);
+    }
+
+    const double lhs = dp[static_cast<std::size_t>(G)];
+    const double rhs = static_cast<double>(capg);
+    if (lhs < rhs - tolerance_ &&
+        (!worst || rhs - lhs > worst->amount())) {
+      // Reconstruct the witness S'.
+      FlushSet sprime = S;
+      int g = G;
+      for (BlockId b = n_blocks - 1; b >= 0; --b) {
+        const auto ci =
+            choice[static_cast<std::size_t>(b)][static_cast<std::size_t>(g)];
+        if (ci < 0) continue;  // shouldn't happen when dp[G] < inf
+        const Time mb =
+            candidates[static_cast<std::size_t>(b)][static_cast<std::size_t>(ci)];
+        const int base = (S.max_flush(b) == kNeverRequested)
+                             ? 0
+                             : cov.count_below(b, S.max_flush(b));
+        const int gb =
+            ((mb == kNeverRequested) ? 0 : cov.count_below(b, mb)) - base;
+        if (mb > S.max_flush(b)) sprime.add_flush(b, mb);
+        g -= gb;
+      }
+      worst = Violation{sprime, lhs, rhs};
+    }
+  }
+  return worst;
+}
+
+std::optional<Violation> ExhaustiveSeparation::find_violated(
+    const FlushSet& S, const FlushVars& phi) {
+  const FlushCoverage& cov = S.coverage();
+  const int n_blocks = cov.blocks().n_blocks();
+
+  // Per-block candidate max flush times: keep S's own, or raise to any
+  // entry time or alive time beyond it.
+  std::vector<std::vector<Time>> candidates(
+      static_cast<std::size_t>(n_blocks));
+  for (BlockId b = 0; b < n_blocks; ++b) {
+    auto& cand = candidates[static_cast<std::size_t>(b)];
+    const Time m = S.max_flush(b);
+    cand.push_back(m);
+    for (const FlushVars::Entry& e : phi.entries(b))
+      if (e.t > m && e.t <= cov.now()) cand.push_back(e.t);
+    // Alive times can include now + 1 (the just-requested page); flushes
+    // strictly in the future have zero marginal at the current tau and are
+    // not representable in a FlushSet, so skip them.
+    for (Time t : cov.alive_times(b))
+      if (t > m && t <= cov.now()) cand.push_back(t);
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+  }
+
+  std::optional<Violation> worst;
+  std::vector<std::size_t> pick(static_cast<std::size_t>(n_blocks), 0);
+  std::function<void(int)> recurse = [&](int b) {
+    if (b == n_blocks) {
+      FlushSet sprime = S;
+      for (BlockId bb = 0; bb < n_blocks; ++bb) {
+        const Time t =
+            candidates[static_cast<std::size_t>(bb)]
+                      [pick[static_cast<std::size_t>(bb)]];
+        if (t > S.max_flush(bb)) sprime.add_flush(bb, t);
+      }
+      if (auto v = check(sprime, phi, tolerance_))
+        if (!worst || v->amount() > worst->amount()) worst = v;
+      return;
+    }
+    for (std::size_t i = 0;
+         i < candidates[static_cast<std::size_t>(b)].size(); ++i) {
+      pick[static_cast<std::size_t>(b)] = i;
+      recurse(b + 1);
+    }
+  };
+  recurse(0);
+  return worst;
+}
+
+}  // namespace bac

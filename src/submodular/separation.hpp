@@ -1,0 +1,88 @@
+// Separation oracles for the submodular-cover LP (P) at the current tau.
+//
+// The primal constraint for a flush set S' and the current time tau is
+//     sum_{(B,t)} f_tau((B,t) | S') * phi_B^t  >=  (n - k) - f_tau(S').
+// Deciding feasibility over *all* S' is not polynomial in general; the
+// paper's fractional algorithm only ever needs constraints for S' >= S
+// where S is the set of integrally-chosen flushes (Claim 3.10). Following
+// the round-or-separate viewpoint of [GL20b], ThresholdSeparation searches
+// the family { S } and { S + all entries with phi >= theta } over the
+// distinct entry values theta; ExhaustiveSeparation enumerates every
+// relevant per-block max-flush combination (exponential; tests only).
+#pragma once
+
+#include <optional>
+
+#include "submodular/flush_coverage.hpp"
+#include "submodular/flush_vars.hpp"
+
+namespace bac {
+
+struct Violation {
+  FlushSet sprime;  ///< the violated constraint's S'
+  double lhs = 0;   ///< sum of capped marginals times phi
+  double rhs = 0;   ///< (n-k) - f_tau(S')
+  [[nodiscard]] double amount() const noexcept { return rhs - lhs; }
+};
+
+/// LHS of the constraint (S', tau): entries with time <= the block's max
+/// flush in S' contribute zero (their capped marginal vanishes).
+[[nodiscard]] double constraint_lhs(const FlushSet& sprime,
+                                    const FlushVars& phi);
+
+class SeparationOracle {
+ public:
+  virtual ~SeparationOracle() = default;
+  /// Find some violated constraint (S', tau) with S' >= S, or nullopt.
+  virtual std::optional<Violation> find_violated(const FlushSet& S,
+                                                 const FlushVars& phi) = 0;
+};
+
+class ThresholdSeparation final : public SeparationOracle {
+ public:
+  /// `tolerance`: constraints violated by less than this are ignored
+  /// (guards against floating-point churn in the closed-form updates).
+  explicit ThresholdSeparation(double tolerance = 1e-9)
+      : tolerance_(tolerance) {}
+  std::optional<Violation> find_violated(const FlushSet& S,
+                                         const FlushVars& phi) override;
+
+ private:
+  double tolerance_;
+};
+
+/// Exhaustive search over per-block max-flush-time combinations drawn from
+/// entry times and alive times. Exponential in the number of blocks —
+/// only for validating the other oracles on small instances.
+class ExhaustiveSeparation final : public SeparationOracle {
+ public:
+  explicit ExhaustiveSeparation(double tolerance = 1e-9)
+      : tolerance_(tolerance) {}
+  std::optional<Violation> find_violated(const FlushSet& S,
+                                         const FlushVars& phi) override;
+
+ private:
+  double tolerance_;
+};
+
+/// *Exact* polynomial-time separation. Because the uncapped coverage g_tau
+/// decomposes as a sum of per-block terms that depend only on the block's
+/// maximum flush time, a constraint (S', tau) is determined by the vector
+/// of per-block max flush times and couples across blocks only through
+/// G = g_tau(S'). For each target G < n-k, a knapsack DP over blocks
+/// minimizes the constraint LHS among all S' with g(S') = G (per-block
+/// candidate times are the alive times, entry times and `now`); the most
+/// negative slack over G is the most violated constraint. O(n * n_blocks *
+/// candidates * entries) per call — heavier than ThresholdSeparation but
+/// complete; used by tests and available for exact experiment runs.
+class DpSeparation final : public SeparationOracle {
+ public:
+  explicit DpSeparation(double tolerance = 1e-9) : tolerance_(tolerance) {}
+  std::optional<Violation> find_violated(const FlushSet& S,
+                                         const FlushVars& phi) override;
+
+ private:
+  double tolerance_;
+};
+
+}  // namespace bac

@@ -1,0 +1,39 @@
+#include "submodular/wolsey.hpp"
+
+namespace bac {
+
+SubmodularCoverResult greedy_submodular_cover(
+    std::size_t n_elements, const std::function<Cost(std::size_t)>& cost,
+    const std::function<long long(const std::vector<char>&, std::size_t)>&
+        marginal,
+    long long target) {
+  SubmodularCoverResult result;
+  std::vector<char> in_set(n_elements, 0);
+  long long gained = 0;
+
+  while (gained < target) {
+    double best_ratio = 0;
+    std::size_t best = n_elements;
+    long long best_gain = 0;
+    for (std::size_t v = 0; v < n_elements; ++v) {
+      if (in_set[v]) continue;
+      const long long gain = marginal(in_set, v);
+      if (gain <= 0) continue;
+      const double ratio = static_cast<double>(gain) / cost(v);
+      if (best == n_elements || ratio > best_ratio) {
+        best_ratio = ratio;
+        best = v;
+        best_gain = gain;
+      }
+    }
+    if (best == n_elements) break;  // no progress possible
+    in_set[best] = 1;
+    result.chosen.push_back(best);
+    result.cost += cost(best);
+    gained += best_gain;
+  }
+  result.covered = gained >= target;
+  return result;
+}
+
+}  // namespace bac

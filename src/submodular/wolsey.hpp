@@ -1,0 +1,35 @@
+// Wolsey's greedy algorithm for (integer-valued) submodular cover.
+//
+// Given a monotone submodular f on a finite ground set with element costs,
+// greedily pick the element maximizing marginal-gain per unit cost until
+// f(S) = f(N). Wolsey [Wol82] proved an H(max_v f(v)) = O(log max f)
+// approximation, and that the LP (2.1) the paper builds on has integrality
+// gap at most log(max f) + 1. Used by the offline baselines and by tests
+// that validate the LP machinery on small instances.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace bac {
+
+struct SubmodularCoverResult {
+  std::vector<std::size_t> chosen;  ///< element indices, in pick order
+  Cost cost = 0;
+  bool covered = false;  ///< reached f(S) == f(N)
+};
+
+/// `marginal(S_indicator, v)` must return f(v | S) >= 0 for the set encoded
+/// by the indicator vector; `target` is f(N) - f(empty). Elements have
+/// positive costs. Greedy stops when the accumulated gain reaches target or
+/// no element has positive marginal.
+SubmodularCoverResult greedy_submodular_cover(
+    std::size_t n_elements, const std::function<Cost(std::size_t)>& cost,
+    const std::function<long long(const std::vector<char>&, std::size_t)>&
+        marginal,
+    long long target);
+
+}  // namespace bac

@@ -1,0 +1,116 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bac {
+
+namespace {
+
+/// Fenwick tree over time positions for the stack-distance sweep.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+  void add(std::size_t i, int delta) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) tree_[i] += delta;
+  }
+  [[nodiscard]] int prefix(std::size_t i) const {  // sum of [0, i]
+    int s = 0;
+    for (++i; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+ private:
+  std::vector<int> tree_;
+};
+
+/// Distances between successive occurrences of each symbol, measured in
+/// distinct intervening symbols. `symbols[i]` in [0, universe).
+std::vector<int> stack_distances(const std::vector<int>& symbols,
+                                 int universe) {
+  std::vector<int> out;
+  if (symbols.empty()) return out;
+  Fenwick active(symbols.size());
+  std::vector<std::ptrdiff_t> last(static_cast<std::size_t>(universe), -1);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    const auto s = static_cast<std::size_t>(symbols[i]);
+    const std::ptrdiff_t prev = last[s];
+    if (prev >= 0) {
+      // Distinct symbols accessed strictly between prev and i.
+      const int upto_i = active.prefix(i - 1);
+      const int upto_prev = active.prefix(static_cast<std::size_t>(prev));
+      out.push_back(upto_i - upto_prev);
+      active.add(static_cast<std::size_t>(prev), -1);
+    }
+    active.add(i, +1);
+    last[s] = static_cast<std::ptrdiff_t>(i);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double hit_rate_from(const std::vector<int>& sorted_distances,
+                     Time total_requests, int capacity) {
+  if (total_requests == 0) return 0;
+  const auto hits = std::lower_bound(sorted_distances.begin(),
+                                     sorted_distances.end(), capacity) -
+                    sorted_distances.begin();
+  return static_cast<double>(hits) / static_cast<double>(total_requests);
+}
+
+}  // namespace
+
+double TraceStats::lru_hit_rate(int k) const {
+  return hit_rate_from(page_reuse_distances, requests, k);
+}
+
+double TraceStats::block_lru_hit_rate(int blocks) const {
+  return hit_rate_from(block_reuse_distances, requests, blocks);
+}
+
+double TraceStats::reuse_quantile(double q) const {
+  if (page_reuse_distances.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(page_reuse_distances.size() - 1));
+  return page_reuse_distances[idx];
+}
+
+TraceStats analyze_trace(const Instance& inst) {
+  TraceStats stats;
+  stats.requests = inst.horizon();
+
+  std::vector<int> pages, block_ids;
+  pages.reserve(inst.requests.size());
+  block_ids.reserve(inst.requests.size());
+  std::vector<char> seen_page(static_cast<std::size_t>(inst.n_pages()), 0);
+  std::vector<char> seen_block(
+      static_cast<std::size_t>(inst.blocks.n_blocks()), 0);
+  int switches = 0;
+  BlockId prev_block = -1;
+  for (PageId p : inst.requests) {
+    const BlockId b = inst.blocks.block_of(p);
+    pages.push_back(p);
+    block_ids.push_back(b);
+    if (!seen_page[static_cast<std::size_t>(p)]) {
+      seen_page[static_cast<std::size_t>(p)] = 1;
+      ++stats.distinct_pages;
+    }
+    if (!seen_block[static_cast<std::size_t>(b)]) {
+      seen_block[static_cast<std::size_t>(b)] = 1;
+      ++stats.distinct_blocks;
+    }
+    if (prev_block >= 0 && b != prev_block) ++switches;
+    prev_block = b;
+  }
+  if (inst.horizon() > 1)
+    stats.block_switch_rate =
+        static_cast<double>(switches) / static_cast<double>(inst.horizon() - 1);
+
+  stats.page_reuse_distances = stack_distances(pages, inst.n_pages());
+  stats.block_reuse_distances =
+      stack_distances(block_ids, inst.blocks.n_blocks());
+  return stats;
+}
+
+}  // namespace bac

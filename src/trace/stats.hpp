@@ -1,0 +1,41 @@
+// Workload characterization: LRU stack (reuse) distances, hit-rate curves
+// and block-locality metrics.
+//
+// Reuse distances are computed with the classic Fenwick-tree sweep
+// (O(T log T)): the distance of a request is the number of *distinct*
+// pages touched since the previous request to the same page; the fraction
+// of requests with distance < k is exactly the hit rate of an LRU cache of
+// size k, so `hit_rate(k)` gives the full LRU miss curve in one pass.
+// Block-level variants run the same analysis on block ids, quantifying how
+// much batching opportunity a trace offers — the key workload property for
+// block-aware caching.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace bac {
+
+struct TraceStats {
+  Time requests = 0;
+  int distinct_pages = 0;
+  int distinct_blocks = 0;
+  double block_switch_rate = 0;  ///< fraction of steps changing blocks
+
+  /// Sorted finite page-level reuse distances (first accesses excluded).
+  std::vector<int> page_reuse_distances;
+  /// Sorted finite block-level reuse distances.
+  std::vector<int> block_reuse_distances;
+
+  /// LRU hit rate for a cache of `k` pages (from the distance profile).
+  [[nodiscard]] double lru_hit_rate(int k) const;
+  /// Block-LRU hit rate for a cache of `blocks` whole blocks.
+  [[nodiscard]] double block_lru_hit_rate(int blocks) const;
+  /// Quantile of the page reuse-distance distribution (q in [0,1]).
+  [[nodiscard]] double reuse_quantile(double q) const;
+};
+
+TraceStats analyze_trace(const Instance& inst);
+
+}  // namespace bac

@@ -1,0 +1,114 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace bac {
+
+void save_instance(const Instance& inst, std::ostream& os) {
+  os << "blockcache-instance v1\n";
+  os << "n " << inst.n_pages() << " k " << inst.k << "\n";
+  os << "blocks " << inst.blocks.n_blocks() << "\n";
+  for (BlockId b = 0; b < inst.blocks.n_blocks(); ++b) {
+    os << "block " << b << " " << inst.blocks.cost(b);
+    for (PageId p : inst.blocks.pages_in(b)) os << " " << p;
+    os << "\n";
+  }
+  os << "requests " << inst.horizon() << "\n";
+  for (std::size_t i = 0; i < inst.requests.size(); ++i) {
+    os << inst.requests[i];
+    os << (((i + 1) % 32 == 0) ? '\n' : ' ');
+  }
+  os << "\n";
+}
+
+void save_instance(const Instance& inst, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_instance: cannot open " + path);
+  save_instance(inst, out);
+}
+
+namespace {
+std::string next_token(std::istream& is) {
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') {
+      std::string line;
+      std::getline(is, line);
+      continue;
+    }
+    return tok;
+  }
+  throw std::runtime_error("load_instance: unexpected end of input");
+}
+
+long long next_int(std::istream& is) { return std::stoll(next_token(is)); }
+double next_double(std::istream& is) { return std::stod(next_token(is)); }
+
+void expect(std::istream& is, const std::string& want) {
+  const std::string got = next_token(is);
+  if (got != want)
+    throw std::runtime_error("load_instance: expected '" + want + "', got '" +
+                             got + "'");
+}
+}  // namespace
+
+Instance load_instance(std::istream& is) {
+  expect(is, "blockcache-instance");
+  expect(is, "v1");
+  expect(is, "n");
+  const int n = static_cast<int>(next_int(is));
+  expect(is, "k");
+  const int k = static_cast<int>(next_int(is));
+  expect(is, "blocks");
+  const int n_blocks = static_cast<int>(next_int(is));
+
+  std::vector<BlockId> page_to_block(static_cast<std::size_t>(n), -1);
+  std::vector<Cost> costs(static_cast<std::size_t>(n_blocks), 1.0);
+  for (int i = 0; i < n_blocks; ++i) {
+    expect(is, "block");
+    const auto b = static_cast<BlockId>(next_int(is));
+    if (b < 0 || b >= n_blocks)
+      throw std::runtime_error("load_instance: bad block id");
+    costs[static_cast<std::size_t>(b)] = next_double(is);
+    // Pages until the next keyword; we rely on counting: pages are read
+    // until the declared universe is exhausted for this block — instead,
+    // read tokens and stop at "block"/"requests" via peeking is clumsy, so
+    // the format requires page counts to be derivable: read until the next
+    // token is non-numeric. Keep it simple: read tokens; put back via
+    // buffer.
+    std::string tok;
+    while (is >> tok) {
+      if (tok == "block" || tok == "requests") {
+        // push back
+        for (auto it = tok.rbegin(); it != tok.rend(); ++it) is.putback(*it);
+        break;
+      }
+      const auto p = static_cast<PageId>(std::stoll(tok));
+      if (p < 0 || p >= n) throw std::runtime_error("load_instance: bad page");
+      page_to_block[static_cast<std::size_t>(p)] = b;
+    }
+  }
+  for (BlockId b : page_to_block)
+    if (b < 0) throw std::runtime_error("load_instance: unassigned page");
+
+  expect(is, "requests");
+  const auto T = static_cast<std::size_t>(next_int(is));
+  std::vector<PageId> req(T);
+  for (auto& p : req) p = static_cast<PageId>(next_int(is));
+
+  Instance inst{BlockMap(std::move(page_to_block), std::move(costs)),
+                std::move(req), k};
+  inst.validate();
+  return inst;
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_instance: cannot open " + path);
+  return load_instance(in);
+}
+
+}  // namespace bac

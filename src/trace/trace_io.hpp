@@ -1,0 +1,26 @@
+// Plain-text serialization of instances, so experiments can be archived
+// and replayed outside the benchmark binaries.
+//
+// Format (line-oriented, '#' comments allowed):
+//   blockcache-instance v1
+//   n <n_pages> k <k>
+//   blocks <n_blocks>
+//   block <id> <cost> <page> <page> ...      (one line per block)
+//   requests <T>
+//   <page> <page> ...                        (whitespace separated)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.hpp"
+
+namespace bac {
+
+void save_instance(const Instance& inst, std::ostream& os);
+void save_instance(const Instance& inst, const std::string& path);
+
+Instance load_instance(std::istream& is);
+Instance load_instance(const std::string& path);
+
+}  // namespace bac

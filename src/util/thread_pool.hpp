@@ -1,0 +1,63 @@
+// Fixed-size thread pool with a deterministic parallel_for_indexed helper.
+//
+// Benchmarks run parameter sweeps and Monte-Carlo trials in parallel. Each
+// task receives its index so callers can derive an independent RNG
+// substream per index — results are bit-identical regardless of the number
+// of worker threads or scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bac {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, count) across the pool; rethrows the first
+  /// task exception after all tasks finish.
+  void parallel_for_indexed(std::size_t count,
+                            const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool for benchmark sweeps.
+ThreadPool& global_pool();
+
+}  // namespace bac

@@ -1,0 +1,191 @@
+// Tests for the flush-coverage function f_tau (Section 3.1), including the
+// paper's Figure 1 as a literal scenario, plus randomized submodularity /
+// monotonicity property checks (Claim 3.1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/block_map.hpp"
+#include "submodular/flush_coverage.hpp"
+#include "util/rng.hpp"
+
+namespace bac {
+namespace {
+
+/// Figure 1: n = 8 pages in two blocks of 4, k = 4 (cap = 4).
+/// Requests p0..p7 at times 1..8; flush (B1, 3) misses {p0, p1} (2 pages),
+/// flush (B2, 8) misses {p4, p5, p6} (3 pages, not p7 which is requested at
+/// 8), and together they miss 5 pages, capped at n - k = 4.
+class Figure1 : public ::testing::Test {
+ protected:
+  Figure1() : blocks_(BlockMap::contiguous(8, 4)), cov_(blocks_, 4) {
+    for (PageId p = 0; p < 8; ++p)
+      cov_.advance(p, static_cast<Time>(p) + 1);
+  }
+  BlockMap blocks_;
+  FlushCoverage cov_;
+};
+
+TEST_F(Figure1, SingleFlushValues) {
+  FlushSet s1 = FlushSet::empty(cov_);
+  EXPECT_EQ(s1.g(), 0);
+  s1.add_flush(0, 3);  // (B1, t1 = 3)
+  EXPECT_EQ(s1.g(), 2);
+  EXPECT_EQ(s1.f(), 2);
+
+  FlushSet s2 = FlushSet::empty(cov_);
+  s2.add_flush(1, 8);  // (B2, t2 = 8)
+  EXPECT_EQ(s2.g(), 3);
+  EXPECT_EQ(s2.f(), 3);
+}
+
+TEST_F(Figure1, UnionIsCapped) {
+  FlushSet s = FlushSet::empty(cov_);
+  s.add_flush(0, 3);
+  s.add_flush(1, 8);
+  EXPECT_EQ(s.g(), 5);
+  EXPECT_EQ(s.f(), 4) << "f is capped at n - k = 4";
+}
+
+TEST_F(Figure1, MarginalsMatchDifferences) {
+  FlushSet s = FlushSet::empty(cov_);
+  EXPECT_EQ(s.g_marginal(0, 3), 2);
+  EXPECT_EQ(s.f_marginal(0, 3), 2);
+  s.add_flush(0, 3);
+  EXPECT_EQ(s.g_marginal(1, 8), 3);
+  // capped marginal: f(S + v) - f(S) = 4 - 2 = 2.
+  EXPECT_EQ(s.f_marginal(1, 8), 2);
+}
+
+TEST_F(Figure1, RequestedPageIsNeverMissing) {
+  FlushSet s = FlushSet::empty(cov_);
+  s.add_flush(1, 8);
+  EXPECT_FALSE(s.missing(7)) << "p7 is requested at tau = 8";
+  EXPECT_TRUE(s.missing(4));
+}
+
+TEST_F(Figure1, LaterFlushDominates) {
+  FlushSet s = FlushSet::empty(cov_);
+  s.add_flush(0, 2);  // misses only p0
+  EXPECT_EQ(s.g(), 1);
+  EXPECT_EQ(s.g_marginal(0, 3), 1);  // raising the flush adds p1
+  s.add_flush(0, 3);
+  EXPECT_EQ(s.g(), 2);
+  EXPECT_EQ(s.g_marginal(0, 1), 0) << "older flush has no marginal";
+}
+
+TEST(FlushCoverage, InitialSetCoversNeverRequested) {
+  const BlockMap blocks = BlockMap::contiguous(6, 2);
+  FlushCoverage cov(blocks, 3);
+  FlushSet s(cov);  // all blocks flushed at 0
+  EXPECT_EQ(s.g(), 6) << "all pages start missing";
+  EXPECT_EQ(s.f(), 3);
+
+  // After requesting page 0, it is present; g drops by one.
+  FlushSet* sets[] = {&s};
+  cov.advance(0, 1, sets);
+  EXPECT_EQ(s.g(), 5);
+  EXPECT_FALSE(s.missing(0));
+  EXPECT_TRUE(s.missing(1));
+}
+
+TEST(FlushCoverage, AdvanceKeepsCachedGConsistent) {
+  const BlockMap blocks = BlockMap::contiguous(6, 3);
+  FlushCoverage cov(blocks, 2);
+  FlushSet s(cov);
+  Xoshiro256pp rng(17);
+  for (Time t = 1; t <= 40; ++t) {
+    const auto p = static_cast<PageId>(rng.below(6));
+    FlushSet* sets[] = {&s};
+    cov.advance(p, t, sets);
+    if (rng.bernoulli(0.3)) s.add_flush(static_cast<BlockId>(rng.below(2)), t);
+    FlushSet fresh = s;
+    fresh.recompute();
+    ASSERT_EQ(s.g(), fresh.g()) << "incremental g diverged at t=" << t;
+  }
+}
+
+TEST(FlushCoverage, AliveTimesAreLastRequestsPlusOne) {
+  const BlockMap blocks = BlockMap::contiguous(4, 2);
+  FlushCoverage cov(blocks, 2);
+  cov.advance(0, 1);
+  cov.advance(1, 2);
+  cov.advance(0, 5);
+  // Block 0 pages: 0 (last req 5), 1 (last req 2) -> alive {3, 6}.
+  const auto alive0 = cov.alive_times(0);
+  ASSERT_EQ(alive0.size(), 2u);
+  EXPECT_EQ(alive0[0], 3);
+  EXPECT_EQ(alive0[1], 6);
+  // Block 1 never requested -> alive {0}.
+  const auto alive1 = cov.alive_times(1);
+  ASSERT_EQ(alive1.size(), 1u);
+  EXPECT_EQ(alive1[0], 0);
+}
+
+TEST(FlushCoverage, CountBelow) {
+  const BlockMap blocks = BlockMap::contiguous(4, 4);
+  FlushCoverage cov(blocks, 2);
+  cov.advance(2, 1);
+  cov.advance(3, 4);
+  // lastReq: [-1, -1, 1, 4]
+  EXPECT_EQ(cov.count_below(0, 0), 2);   // the two never-requested
+  EXPECT_EQ(cov.count_below(0, 1), 2);
+  EXPECT_EQ(cov.count_below(0, 2), 3);
+  EXPECT_EQ(cov.count_below(0, 5), 4);
+  EXPECT_EQ(cov.count_below(0, kNeverRequested), 0);
+}
+
+TEST(FlushCoverage, RejectsNonIncreasingTime) {
+  const BlockMap blocks = BlockMap::contiguous(4, 2);
+  FlushCoverage cov(blocks, 2);
+  cov.advance(0, 3);
+  EXPECT_THROW(cov.advance(1, 3), std::invalid_argument);
+  EXPECT_THROW(cov.advance(1, 2), std::invalid_argument);
+}
+
+TEST(FlushSetTest, RejectsFutureFlush) {
+  const BlockMap blocks = BlockMap::contiguous(4, 2);
+  FlushCoverage cov(blocks, 2);
+  cov.advance(0, 3);
+  FlushSet s = FlushSet::empty(cov);
+  EXPECT_THROW(s.add_flush(0, 4), std::invalid_argument);
+  EXPECT_NO_THROW(s.add_flush(0, 3));
+}
+
+/// Claim 3.1 property check: f_tau is monotone and submodular, verified on
+/// random instances over random chains A <= B and random elements v.
+TEST(FlushCoverageProperty, MonotoneAndSubmodularOnRandomInstances) {
+  Xoshiro256pp rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 4 + static_cast<int>(rng.below(8));
+    const int beta = 1 + static_cast<int>(rng.below(4));
+    const int k = std::max(beta, 1 + static_cast<int>(rng.below(n)));
+    const BlockMap blocks = BlockMap::contiguous(n, beta);
+    FlushCoverage cov(blocks, k);
+    const Time T = 12;
+    for (Time t = 1; t <= T; ++t)
+      cov.advance(static_cast<PageId>(rng.below(static_cast<std::uint64_t>(n))), t);
+
+    // Random nested sets A subset of B, random extra element v.
+    FlushSet A = FlushSet::empty(cov);
+    FlushSet B = FlushSet::empty(cov);
+    for (int i = 0; i < 4; ++i) {
+      const auto b = static_cast<BlockId>(rng.below(
+          static_cast<std::uint64_t>(blocks.n_blocks())));
+      const auto t = static_cast<Time>(rng.below(T + 1));
+      B.add_flush(b, t);
+      if (rng.bernoulli(0.5)) A.add_flush(b, t);
+    }
+    ASSERT_LE(A.f(), B.f()) << "monotonicity";
+    for (int i = 0; i < 6; ++i) {
+      const auto b = static_cast<BlockId>(rng.below(
+          static_cast<std::uint64_t>(blocks.n_blocks())));
+      const auto t = static_cast<Time>(rng.below(T + 1));
+      ASSERT_GE(A.f_marginal(b, t), B.f_marginal(b, t))
+          << "submodularity violated (trial " << trial << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bac

@@ -1,0 +1,80 @@
+// Tests for the sparse fractional variable store phi and the derived
+// page missing-mass values x (paper equation (3.2)).
+#include <gtest/gtest.h>
+
+#include "submodular/flush_vars.hpp"
+
+namespace bac {
+namespace {
+
+TEST(FlushVars, GetAndIncrease) {
+  FlushVars v(2);
+  EXPECT_DOUBLE_EQ(v.get(0, 5), 0.0);
+  v.increase(0, 5, 0.25);
+  v.increase(0, 5, 0.25);
+  EXPECT_DOUBLE_EQ(v.get(0, 5), 0.5);
+  EXPECT_DOUBLE_EQ(v.get(1, 5), 0.0);
+  EXPECT_THROW(v.increase(0, 5, -0.1), std::invalid_argument);
+}
+
+TEST(FlushVars, EntriesStaySortedByTime) {
+  FlushVars v(1);
+  v.increase(0, 7, 0.1);
+  v.increase(0, 2, 0.2);
+  v.increase(0, 5, 0.3);
+  const auto& es = v.entries(0);
+  ASSERT_EQ(es.size(), 3u);
+  EXPECT_EQ(es[0].t, 2);
+  EXPECT_EQ(es[1].t, 5);
+  EXPECT_EQ(es[2].t, 7);
+}
+
+TEST(FlushVars, RaiseToReturnsDelta) {
+  FlushVars v(1);
+  v.increase(0, 3, 0.4);
+  EXPECT_DOUBLE_EQ(v.raise_to(0, 3, 1.0), 0.6);
+  EXPECT_DOUBLE_EQ(v.raise_to(0, 3, 0.5), 0.0);  // never decreases
+  EXPECT_DOUBLE_EQ(v.get(0, 3), 1.0);
+}
+
+TEST(FlushVars, TotalCostSkipsTimeZero) {
+  const BlockMap blocks = BlockMap::contiguous_weighted(4, 2, {2.0, 3.0});
+  FlushVars v(2);
+  v.increase(0, 0, 1.0);  // free initial flush
+  v.increase(0, 4, 0.5);
+  v.increase(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(v.total_cost(blocks), 2.0 * 0.5 + 3.0 * 1.0);
+}
+
+TEST(FlushVars, MassAfter) {
+  FlushVars v(1);
+  v.increase(0, 1, 0.1);
+  v.increase(0, 3, 0.2);
+  v.increase(0, 6, 0.4);
+  EXPECT_DOUBLE_EQ(v.mass_after(0, 0), 0.7);
+  EXPECT_DOUBLE_EQ(v.mass_after(0, 1), 0.6);
+  EXPECT_DOUBLE_EQ(v.mass_after(0, 3), 0.4);
+  EXPECT_DOUBLE_EQ(v.mass_after(0, 6), 0.0);
+}
+
+TEST(FlushVars, XValueFollowsDefinition) {
+  const BlockMap blocks = BlockMap::contiguous(4, 2);
+  FlushCoverage cov(blocks, 2);
+  FlushVars v(2);
+  // Page 2 (block 1) never requested: x = 1 regardless of phi.
+  cov.advance(0, 1);
+  EXPECT_DOUBLE_EQ(v.x_value(cov, 2), 1.0);
+  // Page 0 requested at 1: x = mass of block 0 after time 1, capped at 1.
+  v.increase(0, 1, 0.3);  // at time 1 == r(0): not counted
+  EXPECT_DOUBLE_EQ(v.x_value(cov, 0), 0.0);
+  cov.advance(1, 2);
+  v.increase(0, 2, 0.4);
+  EXPECT_DOUBLE_EQ(v.x_value(cov, 0), 0.4);
+  v.increase(0, 2, 0.9);
+  EXPECT_DOUBLE_EQ(v.x_value(cov, 0), 1.0) << "x is capped at 1";
+  // Page 1 requested at 2: only mass strictly after 2 counts.
+  EXPECT_DOUBLE_EQ(v.x_value(cov, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace bac

@@ -1,0 +1,175 @@
+// Tests for Algorithm 2 (fractional, Theorem 3.6): monotone increments,
+// per-step feasibility of the maintained solution, integral set coherence,
+// cost vs dual ratio, and dual validity against exact OPT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algs/fractional.hpp"
+#include "algs/opt.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace bac {
+namespace {
+
+/// Drive the fractional algorithm over a whole instance.
+void run_all(FractionalBlockAware& alg, const Instance& inst) {
+  for (Time t = 1; t <= inst.horizon(); ++t)
+    alg.step(t, inst.request_at(t));
+}
+
+TEST(Fractional, IncrementsAreMonotoneAndBounded) {
+  Xoshiro256pp rng(61);
+  const Instance inst = make_instance(12, 3, 4,
+                                      zipf_trace(12, 120, 0.8, rng));
+  FractionalBlockAware alg(inst.blocks, inst.k);
+  for (Time t = 1; t <= inst.horizon(); ++t) {
+    for (const auto& inc : alg.step(t, inst.request_at(t))) {
+      ASSERT_GT(inc.delta, 0.0);
+      ASSERT_LE(inc.new_value, 1.0 + 1e-9);
+      ASSERT_LE(inc.t, t);
+    }
+  }
+}
+
+TEST(Fractional, NoViolatedConstraintAfterEachStep) {
+  Xoshiro256pp rng(62);
+  const Instance inst = make_instance(8, 2, 4,
+                                      uniform_trace(8, 60, rng));
+  FractionalBlockAware alg(inst.blocks, inst.k);
+  ThresholdSeparation oracle;
+  for (Time t = 1; t <= inst.horizon(); ++t) {
+    alg.step(t, inst.request_at(t));
+    EXPECT_FALSE(
+        oracle.find_violated(alg.integral_set(), alg.vars()).has_value())
+        << "constraint left violated at t=" << t;
+  }
+}
+
+TEST(Fractional, DpOracleRunIsExactlyFeasible) {
+  // Driven by the exact DP separation oracle, the maintained solution
+  // satisfies *every* superset constraint after every step — confirmed by
+  // the exponential-time exhaustive oracle.
+  Xoshiro256pp rng(63);
+  const Instance inst = make_instance(6, 2, 3,
+                                      uniform_trace(6, 25, rng));
+  FractionalBlockAware alg(inst.blocks, inst.k,
+                           std::make_unique<DpSeparation>());
+  ExhaustiveSeparation exhaustive;
+  for (Time t = 1; t <= inst.horizon(); ++t) {
+    alg.step(t, inst.request_at(t));
+    EXPECT_FALSE(
+        exhaustive.find_violated(alg.integral_set(), alg.vars()).has_value())
+        << "exhaustive oracle found a violation at t=" << t;
+  }
+}
+
+TEST(Fractional, ThresholdAndDpOracleCostsAreClose) {
+  // The fast threshold oracle may leave rare mixed-level constraints
+  // unsatisfied (see DESIGN.md); its fractional cost should nevertheless
+  // track the exact oracle's closely on typical traces.
+  Xoshiro256pp rng(60);
+  const Instance inst = make_instance(12, 3, 4,
+                                      zipf_trace(12, 150, 0.9, rng));
+  FractionalBlockAware fast(inst.blocks, inst.k,
+                            std::make_unique<ThresholdSeparation>());
+  FractionalBlockAware exact(inst.blocks, inst.k,
+                             std::make_unique<DpSeparation>());
+  for (Time t = 1; t <= inst.horizon(); ++t) {
+    fast.step(t, inst.request_at(t));
+    exact.step(t, inst.request_at(t));
+  }
+  ASSERT_GT(exact.fractional_cost(), 0.0);
+  EXPECT_LE(fast.fractional_cost(), exact.fractional_cost() * 1.25 + 1e-9);
+  EXPECT_GE(fast.fractional_cost(), exact.fractional_cost() * 0.5 - 1e-9);
+}
+
+TEST(Fractional, IntegralSetMembersHavePhiOne) {
+  Xoshiro256pp rng(64);
+  const Instance inst = make_instance(10, 2, 4,
+                                      zipf_trace(10, 80, 1.0, rng));
+  FractionalBlockAware alg(inst.blocks, inst.k);
+  run_all(alg, inst);
+  // Every block's max integral flush must have phi == 1 (Lemma 3.8's
+  // invariant: elements enter S exactly when their variable saturates).
+  for (BlockId b = 0; b < inst.blocks.n_blocks(); ++b) {
+    const Time m = alg.integral_set().max_flush(b);
+    if (m > 0)
+      EXPECT_NEAR(alg.vars().get(b, m), 1.0, 1e-6) << "block " << b;
+  }
+}
+
+TEST(Fractional, DualLowerBoundsExactOpt) {
+  Xoshiro256pp rng(65);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Instance inst = make_instance(
+        8, 2, 4, uniform_trace(8, 30, rng.substream(trial)));
+    FractionalBlockAware alg(inst.blocks, inst.k);
+    run_all(alg, inst);
+    const OptResult opt = exact_opt_eviction(inst);
+    ASSERT_TRUE(opt.exact);
+    EXPECT_LE(alg.dual_objective(), opt.cost + 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Fractional, CostWithinLogFactorOfDual) {
+  // Theorem 3.6: cost <= O(log k) * dual. The proof constant is
+  // 2 ln(k beta + 1); verify with slack.
+  Xoshiro256pp rng(66);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int k = 4 << trial;  // 4..64
+    const int n = 3 * k;
+    const Instance inst = make_instance(
+        n, 4, k, uniform_trace(n, 120 + 20 * k, rng.substream(trial)));
+    FractionalBlockAware alg(inst.blocks, inst.k);
+    run_all(alg, inst);
+    if (alg.dual_objective() <= 1e-9) continue;
+    const double bound =
+        2.0 * std::log(static_cast<double>(k) * inst.blocks.beta() + 1.0) + 1.0;
+    EXPECT_LE(alg.fractional_cost() / alg.dual_objective(), bound + 1e-6)
+        << "k=" << k;
+  }
+}
+
+TEST(Fractional, CostNeverExceedsIntegralFlushTotal) {
+  // Fractional relaxation: phi <= characteristic vector of the integral
+  // flushes it adopted, plus fractional mass strictly below 1 each.
+  Xoshiro256pp rng(67);
+  const Instance inst = make_instance(9, 3, 3,
+                                      uniform_trace(9, 60, rng));
+  FractionalBlockAware alg(inst.blocks, inst.k);
+  run_all(alg, inst);
+  // Sanity: fractional cost is positive when evictions were necessary and
+  // not absurdly larger than the number of integral flushes.
+  EXPECT_GT(alg.fractional_cost(), 0.0);
+  EXPECT_LE(alg.fractional_cost(),
+            static_cast<double>(alg.integral_flushes()) +
+                static_cast<double>(inst.horizon()));
+}
+
+TEST(Fractional, NoWorkWhenCacheFits) {
+  const Instance inst = make_instance(6, 2, 6, scan_trace(6, 24));
+  FractionalBlockAware alg(inst.blocks, inst.k);
+  run_all(alg, inst);
+  EXPECT_DOUBLE_EQ(alg.fractional_cost(), 0.0);
+  EXPECT_DOUBLE_EQ(alg.dual_objective(), 0.0);
+  EXPECT_EQ(alg.integral_flushes(), 0);
+}
+
+TEST(Fractional, WeightedCostsRespectDualBound) {
+  Xoshiro256pp rng(68);
+  auto costs = log_uniform_costs(6, 16.0, rng);
+  Instance inst = make_weighted_instance(
+      12, 2, 4, zipf_trace(12, 150, 0.9, rng.substream(1)), std::move(costs));
+  FractionalBlockAware alg(inst.blocks, inst.k);
+  run_all(alg, inst);
+  ASSERT_GT(alg.dual_objective(), 0.0);
+  const double bound =
+      2.0 * std::log(static_cast<double>(inst.k) * inst.blocks.beta() + 1.0) +
+      1.0;
+  EXPECT_LE(alg.fractional_cost() / alg.dual_objective(), bound + 1e-6);
+}
+
+}  // namespace
+}  // namespace bac

@@ -1,0 +1,97 @@
+// Tests for the fractional weighted paging substrate (BBN12a dynamics):
+// feasibility invariants, cost accounting, and competitiveness anchors.
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "algs/classical/classical.hpp"
+#include "algs/classical/fractional_paging.hpp"
+#include "algs/opt.hpp"
+#include "core/simulator.hpp"
+#include "trace/adversarial.hpp"
+#include "trace/generators.hpp"
+
+namespace bac {
+namespace {
+
+TEST(FractionalPaging, MaintainsInvariants) {
+  Xoshiro256pp rng(41);
+  const Instance inst = make_instance(10, 2, 4,
+                                      uniform_trace(10, 200, rng));
+  FractionalWeightedPaging fp(inst);
+  for (Time t = 1; t <= inst.horizon(); ++t) {
+    const PageId p = inst.request_at(t);
+    const auto& x = fp.step(p);
+    ASSERT_DOUBLE_EQ(x[static_cast<std::size_t>(p)], 0.0)
+        << "requested page fully present";
+    double cached = 0;
+    for (std::size_t q = 0; q < x.size(); ++q) {
+      ASSERT_GE(x[q], -1e-9);
+      ASSERT_LE(x[q], 1.0 + 1e-9);
+    }
+    // Feasibility: total cached mass of *requested-so-far* pages <= k.
+    // (Never-requested pages have x = 1 and contribute nothing.)
+    for (std::size_t q = 0; q < x.size(); ++q) cached += 1.0 - x[q];
+    ASSERT_LE(cached, static_cast<double>(inst.k) + 1e-6)
+        << "fractional cache overflow at t=" << t;
+  }
+}
+
+TEST(FractionalPaging, HitsAreFree) {
+  const Instance inst = make_instance(4, 1, 2, {0, 0, 0, 0});
+  FractionalWeightedPaging fp(inst);
+  for (Time t = 1; t <= 4; ++t) fp.step(inst.request_at(t));
+  EXPECT_NEAR(fp.classic_fetch_cost(), 1.0, 1e-9)
+      << "one cold fetch, then hits";
+}
+
+TEST(FractionalPaging, CostWithinLogKOfOpt) {
+  // O(log k)-competitive for classic weighted paging: check a generous
+  // multiple on small instances against exact OPT (beta = 1: fetching
+  // model coincides with classic paging).
+  Xoshiro256pp rng(43);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = 8, k = 4;
+    Instance inst = make_instance(n, 1, k,
+                                  zipf_trace(n, 60, 0.7, rng.substream(trial)));
+    FractionalWeightedPaging fp(inst);
+    for (Time t = 1; t <= inst.horizon(); ++t) fp.step(inst.request_at(t));
+    const OptResult opt = exact_opt_fetching(inst);
+    ASSERT_TRUE(opt.exact);
+    // ln(k)+1 ~ 2.4; allow constant slack 4x.
+    EXPECT_LE(fp.classic_fetch_cost(), (std::log(k) + 1.0) * 4.0 * opt.cost + 2.0)
+        << "trial " << trial;
+  }
+}
+
+TEST(FractionalPaging, BlockCostNeverExceedsClassic) {
+  Xoshiro256pp rng(44);
+  const Instance inst = make_instance(12, 3, 5,
+                                      zipf_trace(12, 150, 0.9, rng));
+  FractionalWeightedPaging fp(inst);
+  for (Time t = 1; t <= inst.horizon(); ++t) fp.step(inst.request_at(t));
+  EXPECT_LE(fp.block_fetch_cost(), fp.classic_fetch_cost() + 1e-9)
+      << "batching can only reduce cost";
+  EXPECT_GE(fp.block_fetch_cost() * inst.blocks.beta(),
+            fp.classic_fetch_cost() - 1e-9)
+      << "batching saves at most a factor beta";
+}
+
+TEST(FractionalPaging, NemesisCostIsLogarithmic) {
+  // On the (k+1)-page cyclic nemesis the fractional algorithm pays
+  // Theta(log k) per round while any deterministic integral policy pays
+  // Theta(k) per round.
+  const int k = 32;
+  const int rounds = 20;
+  const Instance inst = cyclic_nemesis(k, 1, (k + 1) * rounds);
+  FractionalWeightedPaging fp(inst);
+  for (Time t = 1; t <= inst.horizon(); ++t) fp.step(inst.request_at(t));
+  const double per_round = fp.classic_fetch_cost() / rounds;
+  EXPECT_LT(per_round, 3.0 * (std::log(k) + 1.0));
+  LruPolicy lru;
+  const double lru_per_round =
+      simulate(inst, lru).fetch_cost / rounds;
+  EXPECT_GT(lru_per_round, static_cast<double>(k) * 0.9);
+}
+
+}  // namespace
+}  // namespace bac

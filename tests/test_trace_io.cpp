@@ -1,0 +1,51 @@
+// Round-trip tests for the instance text format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+
+namespace bac {
+namespace {
+
+TEST(TraceIo, RoundTripsContiguousInstance) {
+  Instance inst = make_instance(8, 3, 4, {0, 5, 2, 7, 0, 1});
+  std::stringstream ss;
+  save_instance(inst, ss);
+  const Instance back = load_instance(ss);
+  EXPECT_EQ(back.n_pages(), inst.n_pages());
+  EXPECT_EQ(back.k, inst.k);
+  EXPECT_EQ(back.requests, inst.requests);
+  EXPECT_EQ(back.blocks.n_blocks(), inst.blocks.n_blocks());
+  for (PageId p = 0; p < inst.n_pages(); ++p)
+    EXPECT_EQ(back.blocks.block_of(p), inst.blocks.block_of(p));
+}
+
+TEST(TraceIo, RoundTripsWeightedCosts) {
+  Instance inst =
+      make_weighted_instance(6, 2, 3, {0, 1, 2, 3, 4, 5}, {1.5, 2.0, 8.0});
+  std::stringstream ss;
+  save_instance(inst, ss);
+  const Instance back = load_instance(ss);
+  for (BlockId b = 0; b < 3; ++b)
+    EXPECT_DOUBLE_EQ(back.blocks.cost(b), inst.blocks.cost(b));
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream ss("not-an-instance");
+  EXPECT_THROW(load_instance(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncated) {
+  Instance inst = make_instance(4, 2, 2, {0, 1, 2});
+  std::stringstream ss;
+  save_instance(inst, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream cut(text);
+  EXPECT_THROW(load_instance(cut), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bac

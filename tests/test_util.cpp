@@ -1,0 +1,155 @@
+// Unit tests for util: RNG determinism/quality smoke checks, streaming
+// statistics, tables, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bac {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Xoshiro256pp a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c();
+  }
+  Xoshiro256pp d(42), e(43);
+  int diff = 0;
+  for (int i = 0; i < 64; ++i)
+    if (d() != e()) ++diff;
+  EXPECT_GT(diff, 60) << "different seeds should diverge immediately";
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256pp rng(7);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Xoshiro256pp rng(11);
+  std::vector<int> buckets(10, 0);
+  const int trials = 200'000;
+  for (int i = 0; i < trials; ++i) ++buckets[rng.below(10)];
+  for (int b : buckets) {
+    EXPECT_NEAR(static_cast<double>(b) / trials, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Xoshiro256pp rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, SubstreamsDiffer) {
+  Xoshiro256pp root(5);
+  auto s0 = root.substream(0);
+  auto s1 = root.substream(1);
+  int diff = 0;
+  for (int i = 0; i < 64; ++i)
+    if (s0() != s1()) ++diff;
+  EXPECT_GT(diff, 60);
+}
+
+TEST(Stats, WelfordMatchesClosedForm) {
+  StreamingStats s;
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_NEAR(s.variance(), 3.5, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 6);
+}
+
+TEST(Stats, MergeEqualsConcatenation) {
+  Xoshiro256pp rng(9);
+  StreamingStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10 - 3;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.0), 1);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 1.0), 4);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.5), 2.5);
+}
+
+TEST(Stats, RegressionSlopeRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.5 * i + 7);
+  }
+  EXPECT_NEAR(regression_slope(x, y), 2.5, 1e-9);
+}
+
+TEST(Table, PrintsAlignedAndCsvRoundtrips) {
+  Table t({"alg", "cost"});
+  t.row().add("LRU").add(12.345, 2);
+  t.row().add("Opt").add(3LL);
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("LRU"), std::string::npos);
+  EXPECT_NE(s.find("12.35"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(ThreadPool, RunsAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for_indexed(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_indexed(
+                   10,
+                   [&](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+}  // namespace
+}  // namespace bac
