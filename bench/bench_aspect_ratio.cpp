@@ -27,16 +27,13 @@ Instance weighted_instance(int n, int beta, int k, double delta, Time T,
                                 std::move(costs));
 }
 
-}  // namespace
-}  // namespace bac
-
-int main() {
-  using namespace bac;
+void delta_sweep() {
   const int k = 32, beta = 4, n = 128;
   Table table({"Delta", "Alg1 cost/dual", "bound k", "E[rounded]/frac",
                "gamma=log(4k^2 b Delta)", "frac cost/dual"});
   for (double delta : {1.0, 4.0, 16.0, 64.0, 256.0}) {
-    const Instance inst = weighted_instance(n, beta, k, delta, 4000, 7);
+    const Instance inst =
+        weighted_instance(n, beta, k, delta, 4000, bench::seed_of(7));
 
     DetOnlineBlockAware det;
     const RunResult det_run = simulate(inst, det);
@@ -46,18 +43,26 @@ int main() {
 
     RandomizedBlockAware rnd;
     StreamingStats cost;
-    for (int i = 0; i < 5; ++i) {
+    const int trials = bench::trials_or(5);
+    for (int i = 0; i < trials; ++i) {
       SimOptions opt;
       opt.seed = 300 + static_cast<std::uint64_t>(i);
       cost.add(simulate(inst, rnd, opt).eviction_cost);
     }
+    const double rounded_over_frac =
+        rnd.fractional_cost() > 0 ? cost.mean() / rnd.fractional_cost() : 0.0;
+    bench::record(bench::shape_of(inst)
+                      .named("zipf0.9")
+                      .costing(det_run.eviction_cost)
+                      .with("delta", delta)
+                      .with("det_ratio", det_ratio)
+                      .with("rounded_over_frac", rounded_over_frac)
+                      .with("gamma", rnd.gamma()));
     table.row()
         .add(delta, 0)
         .add(det_ratio, 2)
         .add(k)
-        .add(rnd.fractional_cost() > 0 ? cost.mean() / rnd.fractional_cost()
-                                       : 0.0,
-             2)
+        .add(rounded_over_frac, 2)
         .add(rnd.gamma(), 2)
         .add(rnd.dual_objective() > 0
                  ? rnd.fractional_cost() / rnd.dual_objective()
@@ -68,5 +73,9 @@ int main() {
               "EXP-10 weighted blocks: Delta sweep (Alg1 flat in Delta; "
               "rounding overhead grows ~log Delta with gamma)",
               "sweep");
-  return 0;
 }
+
+BAC_BENCH_EXPERIMENT("delta_sweep", delta_sweep);
+
+}  // namespace
+}  // namespace bac

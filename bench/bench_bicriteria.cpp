@@ -23,17 +23,26 @@ namespace {
 void exact_pipeline() {
   Table table({"trial", "n", "beta", "h", "LP value", "OPT(h)", "rounded",
                "rounded/OPT", "space", "2h"});
-  for (int trial = 0; trial < 6; ++trial) {
+  const int trials = bench::trials_or(6);
+  for (int trial = 0; trial < trials; ++trial) {
     const int beta = 2 + trial % 3;
     const int h = 4;
     const int n = 10;
-    const Instance inst = bench::build_load(bench::Load::Uniform, n, beta, h,
-                                            40, 500 + trial);
+    const Instance inst =
+        bench::build_load(bench::Load::Uniform, n, beta, h, 40,
+                          bench::seed_of(500 + static_cast<unsigned>(trial)));
     const NaiveLpResult lp = solve_naive_lp(inst, CostModel::Fetching);
     if (lp.status != LpStatus::Optimal)
       throw std::runtime_error("simplex failed");
     const auto outcome = round_fetch_threshold(inst, lp.x);
     const OptResult opt = exact_opt_fetching(inst);
+    bench::record(bench::shape_of(inst)
+                      .named("uniform")
+                      .costing(outcome.fetch_cost)
+                      .with("lp_value", lp.objective)
+                      .with("opt", opt.cost)
+                      .with("space", outcome.max_cache_used)
+                      .with("space_bound", 2 * h));
     table.row()
         .add(trial)
         .add(n)
@@ -58,8 +67,9 @@ void online_pipeline() {
   for (int k : {8, 16, 32}) {
     for (int beta : {2, 4, 8}) {
       const int n = 4 * k;
-      const Instance inst =
-          bench::build_load(bench::Load::Zipf, n, beta, k, 3000, 41 + k);
+      const Instance inst = bench::build_load(
+          bench::Load::Zipf, n, beta, k, 3000,
+          bench::seed_of(41 + static_cast<unsigned>(k)));
       FractionalWeightedPaging fp(inst);
       std::vector<std::vector<double>> x;
       x.push_back(std::vector<double>(static_cast<std::size_t>(n), 1.0));
@@ -67,6 +77,13 @@ void online_pipeline() {
         x.push_back(fp.step(inst.request_at(t)));
       const auto outcome = round_fetch_threshold(inst, x);
       const Cost frac = fractional_block_fetch_cost(inst, x);
+      bench::record(bench::shape_of(inst)
+                        .named("zipf0.9")
+                        .costing(outcome.fetch_cost)
+                        .with("frac", frac)
+                        .with("ratio", frac > 0 ? outcome.fetch_cost / frac : 0.0)
+                        .with("space", outcome.max_cache_used)
+                        .with("space_bound", 2 * k));
       table.row()
           .add(n)
           .add(beta)
@@ -90,8 +107,9 @@ void eviction_variant() {
                "rounded/frac", "space", "2k+1"});
   for (int k : {8, 16, 32}) {
     const int beta = 4;
-    const Instance inst =
-        bench::build_load(bench::Load::Zipf, 4 * k, beta, k, 3000, 43 + k);
+    const Instance inst = bench::build_load(
+        bench::Load::Zipf, 4 * k, beta, k, 3000,
+        bench::seed_of(43 + static_cast<unsigned>(k)));
     FractionalWeightedPaging fp(inst);
     std::vector<std::vector<double>> x;
     x.push_back(std::vector<double>(static_cast<std::size_t>(4 * k), 1.0));
@@ -99,6 +117,14 @@ void eviction_variant() {
       x.push_back(fp.step(inst.request_at(t)));
     const auto outcome = round_evict_threshold(inst, x);
     const Cost frac = fractional_block_evict_cost(inst, x);
+    bench::record(
+        bench::shape_of(inst)
+            .named("zipf0.9")
+            .costing(outcome.eviction_cost)
+            .with("frac", frac)
+            .with("ratio", frac > 0 ? outcome.eviction_cost / frac : 0.0)
+            .with("space", outcome.max_cache_used)
+            .with("space_bound", 2 * k + 1));
     table.row()
         .add(k)
         .add(beta)
@@ -113,12 +139,9 @@ void eviction_variant() {
               "eviction");
 }
 
+BAC_BENCH_EXPERIMENT("exact", exact_pipeline);
+BAC_BENCH_EXPERIMENT("online", online_pipeline);
+BAC_BENCH_EXPERIMENT("eviction", eviction_variant);
+
 }  // namespace
 }  // namespace bac
-
-int main() {
-  bac::exact_pipeline();
-  bac::online_pipeline();
-  bac::eviction_variant();
-  return 0;
-}

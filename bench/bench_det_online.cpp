@@ -20,13 +20,19 @@ void primal_dual_sweep() {
                "cost/dual", "bound k"});
   for (int k : {4, 8, 16, 32, 64}) {
     for (const auto load : {bench::Load::Zipf, bench::Load::BlockLocal}) {
-      const Instance inst =
-          bench::build_load(load, 4 * k, 4, k, 6000, 17 + k);
+      const Instance inst = bench::build_load(
+          load, 4 * k, 4, k, 6000, bench::seed_of(17 + static_cast<unsigned>(k)));
       DetOnlineBlockAware alg;
       const RunResult r = simulate(inst, alg);
       const double ratio = alg.dual_objective() > 0
                                ? r.eviction_cost / alg.dual_objective()
                                : 0.0;
+      bench::record(bench::shape_of(inst)
+                        .named(bench::load_name(load))
+                        .costing(r.eviction_cost)
+                        .with("dual_lb", alg.dual_objective())
+                        .with("ratio", ratio)
+                        .with("bound_k", k));
       table.row()
           .add(k)
           .add(4)
@@ -45,16 +51,23 @@ void primal_dual_sweep() {
 
 void opt_ratio_small() {
   Table table({"trial", "n", "beta", "k", "alg cost", "OPT", "ratio", "k"});
-  Xoshiro256pp rng(2024);
-  for (int trial = 0; trial < 8; ++trial) {
+  const int trials = bench::trials_or(8);
+  for (int trial = 0; trial < trials; ++trial) {
     const int beta = 2 + trial % 3;
     const int k = 4 + (trial % 2) * 2;
     const int n = 12;
-    const Instance inst = bench::build_load(bench::Load::Uniform, n, beta, k,
-                                            60, 100 + trial);
+    const Instance inst =
+        bench::build_load(bench::Load::Uniform, n, beta, k, 60,
+                          bench::seed_of(100 + static_cast<unsigned>(trial)));
     DetOnlineBlockAware alg;
     const RunResult r = simulate(inst, alg);
     const OptResult opt = exact_opt_eviction(inst);
+    bench::record(
+        bench::shape_of(inst)
+            .named("uniform")
+            .costing(r.eviction_cost)
+            .with("opt", opt.cost)
+            .with("ratio", opt.cost > 0 ? r.eviction_cost / opt.cost : 0.0));
     table.row()
         .add(trial)
         .add(n)
@@ -76,8 +89,8 @@ void versus_classical() {
   for (int beta : {2, 4, 8, 16}) {
     const int k = 8 * beta;
     const int n = 4 * k;
-    const Instance inst =
-        bench::build_load(bench::Load::BlockLocal, n, beta, k, 20'000, 7);
+    const Instance inst = bench::build_load(bench::Load::BlockLocal, n, beta,
+                                            k, 20'000, bench::seed_of(7));
     auto cost = [&](OnlinePolicy& p) {
       return simulate(inst, p).eviction_cost;
     };
@@ -88,6 +101,11 @@ void versus_classical() {
     DetOnlineBlockAware det;
     const double c_lru = cost(lru);
     const double c_det = cost(det);
+    bench::record(bench::shape_of(inst)
+                      .named("blocklocal")
+                      .costing(c_det)
+                      .with("lru", c_lru)
+                      .with("det_over_lru", c_lru > 0 ? c_det / c_lru : 0.0));
     table.row()
         .add(beta)
         .add(c_lru, 0)
@@ -103,12 +121,9 @@ void versus_classical() {
               "vs_classical");
 }
 
+BAC_BENCH_EXPERIMENT("primal_dual", primal_dual_sweep);
+BAC_BENCH_EXPERIMENT("opt_ratio", opt_ratio_small);
+BAC_BENCH_EXPERIMENT("vs_classical", versus_classical);
+
 }  // namespace
 }  // namespace bac
-
-int main() {
-  bac::primal_dual_sweep();
-  bac::opt_ratio_small();
-  bac::versus_classical();
-  return 0;
-}

@@ -45,6 +45,16 @@ void adversary_row(Table& table, const std::string& name, int k, int B, int h,
                      simulate(offline, belady).fetch_cost);
     denom_kind = "heuristic";
   }
+  const double ratio = denom > 0 ? adv.online_fetch / denom : 0.0;
+  bench::record(bench::shape_of(adv.instance)
+                    .named("adversary/" + name)
+                    .costing(adv.online_fetch)
+                    .with("opt_h", denom)
+                    .with("h", h)
+                    .with("ratio", ratio)
+                    .with("bgm21_bound", bgm21_lower_bound(k, B, h))
+                    .with("classic_bound",
+                          static_cast<double>(k) / (k - h + 1)));
   table.row()
       .add(name)
       .add(k)
@@ -53,16 +63,12 @@ void adversary_row(Table& table, const std::string& name, int k, int B, int h,
       .add(adv.online_fetch, 0)
       .add(denom, 0)
       .add(denom_kind)
-      .add(denom > 0 ? adv.online_fetch / denom : 0.0, 2)
+      .add(ratio, 2)
       .add(bgm21_lower_bound(k, B, h), 2)
       .add(static_cast<double>(k) / (k - h + 1), 2);
 }
 
-}  // namespace
-}  // namespace bac
-
-int main() {
-  using namespace bac;
+void ratios() {
   Table table({"policy", "k", "B", "h", "online", "OPT(h)", "kind", "ratio",
                "BGM21 bound", "classic bound"});
   // Exactly-solvable scale.
@@ -84,5 +90,9 @@ int main() {
   std::cout << "Note: no online policy can beat Omega(beta + log k) here "
                "(Theorem 1.2) — even the\npaper's eviction-model algorithms "
                "pay ~1 per step under fetching costs.\n";
-  return 0;
 }
+
+BAC_BENCH_EXPERIMENT("ratios", ratios);
+
+}  // namespace
+}  // namespace bac

@@ -22,14 +22,22 @@ void ratio_sweep() {
   for (int k : {4, 8, 16, 32, 64, 128}) {
     for (const auto load : {bench::Load::Uniform, bench::Load::Zipf}) {
       const int beta = 4;
-      const Instance inst =
-          bench::build_load(load, 3 * k, beta, k, 2500 + 30 * k, 11 + k);
+      const Instance inst = bench::build_load(
+          load, 3 * k, beta, k, 2500 + 30 * k,
+          bench::seed_of(11 + static_cast<unsigned>(k)));
       FractionalBlockAware alg(inst.blocks, inst.k);
       for (Time t = 1; t <= inst.horizon(); ++t)
         alg.step(t, inst.request_at(t));
       const double ratio = alg.dual_objective() > 0
                                ? alg.fractional_cost() / alg.dual_objective()
                                : 0.0;
+      bench::record(
+          bench::shape_of(inst)
+              .named(bench::load_name(load))
+              .costing(alg.fractional_cost())
+              .with("dual_lb", alg.dual_objective())
+              .with("ratio", ratio)
+              .with("bound", 2.0 * std::log(static_cast<double>(k) * beta + 1.0)));
       if (ratio > 0 && load == bench::Load::Uniform) {
         logs.push_back(std::log(static_cast<double>(k)));
         ratios.push_back(ratio);
@@ -55,12 +63,12 @@ void ratio_sweep() {
 }
 
 void oracle_comparison() {
-  // Ablation called out in DESIGN.md: the fast threshold separation vs the
-  // exact DP separation. Same instances; compare cost and runtime.
+  // Ablation called out in bench/DESIGN.md: the fast threshold separation
+  // vs the exact DP separation. Same instances; compare cost and runtime.
   Table table({"k", "oracle", "frac cost", "dual LB", "ratio", "ms"});
   for (int k : {4, 8, 16}) {
-    const Instance inst =
-        bench::build_load(bench::Load::Zipf, 3 * k, 3, k, 1200, 5);
+    const Instance inst = bench::build_load(bench::Load::Zipf, 3 * k, 3, k,
+                                            1200, bench::seed_of(5));
     for (int which = 0; which < 2; ++which) {
       std::unique_ptr<SeparationOracle> oracle;
       if (which == 0) oracle = std::make_unique<ThresholdSeparation>();
@@ -69,6 +77,12 @@ void oracle_comparison() {
       Stopwatch sw;
       for (Time t = 1; t <= inst.horizon(); ++t)
         alg.step(t, inst.request_at(t));
+      bench::record(bench::shape_of(inst)
+                        .named(which == 0 ? "zipf0.9/threshold"
+                                          : "zipf0.9/exact-dp")
+                        .costing(alg.fractional_cost())
+                        .timing(sw.millis())
+                        .with("dual_lb", alg.dual_objective()));
       table.row()
           .add(k)
           .add(which == 0 ? "threshold" : "exact-dp")
@@ -86,11 +100,8 @@ void oracle_comparison() {
               "oracle_ablation");
 }
 
+BAC_BENCH_EXPERIMENT("ratio", ratio_sweep);
+BAC_BENCH_EXPERIMENT("oracle_ablation", oracle_comparison);
+
 }  // namespace
 }  // namespace bac
-
-int main() {
-  bac::ratio_sweep();
-  bac::oracle_comparison();
-  return 0;
-}

@@ -27,6 +27,14 @@ void figure1() {
   FlushSet both = s1;
   both.add_flush(1, 8);
   table.row().add("{(B1,t1),(B2,t2)}").add(both.g()).add(both.f()).add(4);
+  bench::Record rec;
+  rec.workload = "figure1";
+  rec.n = 8;
+  rec.m = 2;
+  rec.k = 4;
+  rec.beta = 4;
+  rec.with("f_s1", s1.f()).with("f_s2", s2.f()).with("f_both", both.f());
+  bench::record(rec);
   bench::emit(table, "bench_ftau",
               "EXP-8 Figure 1: f_tau values on the paper's illustration",
               "figure1");
@@ -38,8 +46,8 @@ void throughput() {
   for (int n : {256, 1024, 4096}) {
     const int beta = 8;
     const int k = n / 4;
-    const Instance inst =
-        bench::build_load(bench::Load::Zipf, n, beta, k, 20'000, 3);
+    const Instance inst = bench::build_load(bench::Load::Zipf, n, beta, k,
+                                            20'000, bench::seed_of(3));
     FlushCoverage cov(inst.blocks, k);
     FlushSet S(cov);
     Stopwatch sw;
@@ -57,6 +65,13 @@ void throughput() {
       }
     }
     const double ms = sw.millis();
+    bench::record(
+        bench::shape_of(inst)
+            .named("zipf0.9")
+            .costing(static_cast<double>(marginals))
+            .timing(ms)
+            .with("marginals_per_us",
+                  static_cast<double>(marginals) / (ms * 1000.0)));
     table.row()
         .add(n)
         .add(beta)
@@ -71,11 +86,8 @@ void throughput() {
               "throughput");
 }
 
+BAC_BENCH_EXPERIMENT("figure1", figure1);
+BAC_BENCH_EXPERIMENT("throughput", throughput);
+
 }  // namespace
 }  // namespace bac
-
-int main() {
-  bac::figure1();
-  bac::throughput();
-  return 0;
-}

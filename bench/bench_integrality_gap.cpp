@@ -28,6 +28,13 @@ void gap_sweep(CostModel model) {
       throw std::runtime_error("simplex failed on gap instance");
     const OptResult opt =
         fetch ? exact_opt_fetching(inst) : exact_opt_eviction(inst);
+    bench::record(bench::shape_of(inst)
+                      .named(fetch ? "gap/fetching" : "gap/eviction")
+                      .costing(opt.cost)
+                      .with("lp_value", lp.objective)
+                      .with("gap", lp.objective > 0 ? opt.cost / lp.objective
+                                                    : 0.0)
+                      .with("pivots", static_cast<double>(lp.pivots)));
     table.row()
         .add(beta)
         .add(rounds)
@@ -45,11 +52,8 @@ void gap_sweep(CostModel model) {
               fetch ? "fetching" : "eviction");
 }
 
+BAC_BENCH_EXPERIMENT("fetching", +[] { gap_sweep(CostModel::Fetching); });
+BAC_BENCH_EXPERIMENT("eviction", +[] { gap_sweep(CostModel::Eviction); });
+
 }  // namespace
 }  // namespace bac
-
-int main() {
-  bac::gap_sweep(bac::CostModel::Fetching);
-  bac::gap_sweep(bac::CostModel::Eviction);
-  return 0;
-}

@@ -1,0 +1,269 @@
+// Shared entry point for every bench binary: parses the common flags,
+// sizes the global thread pool, runs the experiments registered via
+// BAC_BENCH_EXPERIMENT in registration order, and (with --json) writes the
+// collected records to BENCH_<bench>.json — the machine-readable trail the
+// perf trajectory is built from.
+#include "bench_common.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace bac::bench {
+namespace {
+
+struct Experiment {
+  const char* name;
+  ExperimentFn fn;
+  bool ran = false;
+  double wall_ms = 0.0;
+  std::vector<Record> records;
+};
+
+std::vector<Experiment>& registry() {
+  static std::vector<Experiment> r;
+  return r;
+}
+
+Experiment* g_current = nullptr;
+
+/// Binary name with any path and "bench_" prefix stripped: ./bench_perf
+/// -> "perf". Names the default BENCH_<bench>.json output.
+std::string bench_name(const char* argv0) {
+  std::string name = argv0 ? argv0 : "bench";
+  const auto slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name.empty() ? "bench" : name;
+}
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--seed <u64>] [--trials <n>] [--threads <n>]\n"
+      "          [--json [path]] [--only <experiment>]... [--list]\n"
+      "\n"
+      "  --seed     offset all workload seeds (default 1 = paper tables)\n"
+      "  --trials   override Monte-Carlo trial counts\n"
+      "  --threads  worker threads for parallel sweeps (default: hardware)\n"
+      "  --json     write structured records (default path BENCH_<bench>.json)\n"
+      "  --only     run just the named experiment (repeatable)\n"
+      "  --list     print registered experiments and exit\n",
+      argv0);
+}
+
+/// JSON string escaping for the few places we emit text.
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Doubles that JSON cannot represent (inf/nan) become null.
+void write_json_number(std::ostream& os, double x) {
+  if (std::isfinite(x)) os << x;
+  else os << "null";
+}
+
+void write_json(const std::string& path, const std::string& bench) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  os.precision(17);
+  const Options& opt = options();
+  // The resolved thread count, without instantiating the pool just to
+  // stamp the file (most benches never touch it).
+  const unsigned threads =
+      opt.threads > 0 ? static_cast<unsigned>(opt.threads)
+                      : std::max(1u, std::thread::hardware_concurrency());
+  os << "{\n  \"bench\": ";
+  write_json_string(os, bench);
+  os << ",\n  \"seed\": " << opt.seed << ",\n  \"trials\": " << opt.trials
+     << ",\n  \"threads\": " << threads << ",\n  \"experiments\": [";
+  bool first_exp = true;
+  for (const Experiment& exp : registry()) {
+    if (!exp.ran) continue;  // deselected by --only
+    os << (first_exp ? "\n" : ",\n") << "    {\n      \"name\": ";
+    first_exp = false;
+    write_json_string(os, exp.name);
+    os << ",\n      \"wall_ms\": ";
+    write_json_number(os, exp.wall_ms);
+    os << ",\n      \"records\": [";
+    bool first_rec = true;
+    for (const Record& r : exp.records) {
+      os << (first_rec ? "\n" : ",\n") << "        {\"workload\": ";
+      first_rec = false;
+      write_json_string(os, r.workload);
+      os << ", \"n\": " << r.n << ", \"m\": " << r.m << ", \"k\": " << r.k
+         << ", \"beta\": " << r.beta << ", \"cost\": ";
+      write_json_number(os, r.cost);
+      os << ", \"wall_ms\": ";
+      write_json_number(os, r.wall_ms);
+      for (const auto& [key, value] : r.extra) {
+        os << ", ";
+        write_json_string(os, key);
+        os << ": ";
+        write_json_number(os, value);
+      }
+      os << "}";
+    }
+    os << (first_rec ? "]" : "\n      ]") << "\n    }";
+  }
+  os << (first_exp ? "]" : "\n  ]") << "\n}\n";
+  if (!os.flush()) throw std::runtime_error("short write to " + path);
+}
+
+bool selected(const Experiment& exp) {
+  if (options().only.empty()) return true;
+  for (const auto& name : options().only)
+    if (name == exp.name) return true;
+  return false;
+}
+
+int run(int argc, char** argv) {
+  Options& opt = options();
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto numeric = [&](const char* flag,
+                       unsigned long long max) -> unsigned long long {
+      const char* s = value(flag);
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long v = std::strtoull(s, &end, 10);
+      if (end == s || *end != '\0' || errno == ERANGE || v > max) {
+        std::fprintf(stderr,
+                     "%s: %s wants an integer in [0, %llu], got '%s'\n",
+                     argv[0], flag, max, s);
+        std::exit(2);
+      }
+      return v;
+    };
+    if (arg == "--seed") {
+      // Seed 1 is the baked-in baseline; treat 0 as the same baseline so
+      // "seed": 0 never stamps a record built from shifted seeds.
+      opt.seed = std::max(1ull, numeric("--seed", ~0ull));
+    } else if (arg == "--trials") {
+      opt.trials = static_cast<int>(numeric("--trials", 1'000'000));
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<int>(numeric("--threads", 4096));
+    } else if (arg == "--json") {
+      opt.json = true;
+      // Optional path operand: consume the next arg unless it is a flag.
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        opt.json_path = argv[++i];
+    } else if (arg == "--only") {
+      opt.only.emplace_back(value("--only"));
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const std::string bench = bench_name(argc > 0 ? argv[0] : nullptr);
+  if (opt.json && opt.json_path.empty())
+    opt.json_path = "BENCH_" + bench + ".json";
+
+  if (list) {
+    for (const Experiment& exp : registry()) std::printf("%s\n", exp.name);
+    return 0;
+  }
+  for (const auto& name : opt.only) {
+    bool known = false;
+    for (const Experiment& exp : registry()) known |= name == exp.name;
+    if (!known) {
+      std::fprintf(stderr, "%s: no experiment named '%s' (try --list)\n",
+                   argv[0], name.c_str());
+      return 2;
+    }
+  }
+
+  if (opt.threads > 0)
+    configure_global_pool(static_cast<std::size_t>(opt.threads));
+
+  int ran = 0;
+  for (Experiment& exp : registry()) {
+    if (!selected(exp)) continue;
+    g_current = &exp;
+    exp.ran = true;
+    Stopwatch sw;
+    exp.fn();
+    exp.wall_ms = sw.millis();
+    g_current = nullptr;
+    ++ran;
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "%s: no experiments registered\n", argv[0]);
+    return 1;
+  }
+
+  if (opt.json) {
+    write_json(opt.json_path, bench);
+    std::printf("[json: %s]\n", opt.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+Options& options() {
+  static Options opt;
+  return opt;
+}
+
+void record(Record r) {
+  // Experiments may record from tasks on the global pool; serialize the
+  // appends (order then follows task completion, not submission).
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  if (g_current != nullptr) g_current->records.push_back(std::move(r));
+}
+
+bool register_experiment(const char* name, ExperimentFn fn) {
+  registry().push_back({name, fn, false, 0.0, {}});
+  return true;
+}
+
+}  // namespace bac::bench
+
+int main(int argc, char** argv) {
+  try {
+    return bac::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench failed: %s\n", e.what());
+    return 1;
+  }
+}

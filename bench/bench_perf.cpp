@@ -1,7 +1,11 @@
-// PERF: google-benchmark microbenchmarks of the library's hot paths —
-// simulator throughput per policy, f_tau marginal evaluation, the
-// fractional algorithm's per-step cost, and the exact-OPT solvers.
-#include <benchmark/benchmark.h>
+// PERF: microbenchmarks of the library's hot paths — simulator throughput
+// per policy, f_tau marginal evaluation, the fractional algorithm's
+// per-step cost, and the exact-OPT solvers. Unlike the experiment benches
+// this one measures wall time, so it runs each case --trials times
+// (default 3) and reports the fastest run plus items/second; --json
+// writes the same numbers to BENCH_perf.json, one snapshot of the perf
+// trajectory's machine-readable trail.
+#include "bench_common.hpp"
 
 #include <type_traits>
 
@@ -13,6 +17,7 @@
 #include "core/simulator.hpp"
 #include "submodular/flush_coverage.hpp"
 #include "trace/generators.hpp"
+#include "util/timer.hpp"
 
 namespace bac {
 namespace {
@@ -32,75 +37,128 @@ class BlockLruNoPrefetch final : public OnlinePolicy {
 
 Instance bench_instance(int n, int beta, int k, Time T) {
   BlockMap blocks = BlockMap::contiguous(n, beta);
-  auto req = block_local_trace(blocks, T, 0.75, 0.9, Xoshiro256pp(9));
+  auto req =
+      block_local_trace(blocks, T, 0.75, 0.9, Xoshiro256pp(bench::seed_of(9)));
   return Instance{std::move(blocks), std::move(req), k};
 }
 
+/// Column set matching run_case's .add() order below.
+Table perf_table() {
+  return Table({"case", "n", "k", "best ms", "Mitems/s", "checksum"});
+}
+
+/// Run `body` (which processes `items` items and returns a cost-like
+/// checksum) --trials times; table + record the fastest run.
+template <typename Body>
+void run_case(Table& table, const std::string& name, const Instance& inst,
+              long long items, Body&& body) {
+  const int trials = bench::trials_or(3);
+  double best_ms = 0.0;
+  double checksum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    Stopwatch sw;
+    checksum = body();
+    const double ms = sw.millis();
+    if (i == 0 || ms < best_ms) best_ms = ms;
+  }
+  const double per_sec =
+      best_ms > 0 ? static_cast<double>(items) / (best_ms / 1e3) : 0.0;
+  bench::record(bench::shape_of(inst)
+                    .named(name)
+                    .costing(checksum)
+                    .timing(best_ms)
+                    .with("items", static_cast<double>(items))
+                    .with("items_per_sec", per_sec));
+  table.row()
+      .add(name)
+      .add(inst.n_pages())
+      .add(inst.k)
+      .add(best_ms, 2)
+      .add(per_sec / 1e6, 2)
+      .add(checksum, 1);
+}
+
 template <typename Policy>
-void BM_Simulate(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
+void simulate_case(Table& table, const std::string& name, int n) {
   // The LP-based randomized policy costs ~ms per request (its separation
   // oracle scans the fractional history); give it a shorter trace so the
   // microbenchmark finishes in seconds while still reporting per-item cost.
   const bool heavy = std::is_same_v<Policy, RandomizedBlockAware>;
   const Instance inst = bench_instance(n, 8, n / 4, heavy ? 2'000 : 20'000);
   Policy policy;
-  for (auto _ : state) {
-    const RunResult r = simulate(inst, policy);
-    benchmark::DoNotOptimize(r.eviction_cost);
-  }
-  state.SetItemsProcessed(state.iterations() * inst.horizon());
+  run_case(table, name + "/" + std::to_string(n), inst, inst.horizon(), [&] {
+    return simulate(inst, policy).eviction_cost;
+  });
 }
 
-void BM_FtauMarginals(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  const Instance inst = bench_instance(n, 8, n / 4, 20'000);
-  for (auto _ : state) {
-    FlushCoverage cov(inst.blocks, inst.k);
-    FlushSet S(cov);
-    long long sink = 0;
-    for (Time t = 1; t <= inst.horizon(); ++t) {
-      FlushSet* sets[] = {&S};
-      const PageId p = inst.request_at(t);
-      cov.advance(p, t, sets);
-      const BlockId b = inst.blocks.block_of(p);
-      for (Time at : cov.alive_times(b)) sink += S.f_marginal(b, at);
-    }
-    benchmark::DoNotOptimize(sink);
-  }
-  state.SetItemsProcessed(state.iterations() * inst.horizon());
+void simulator_throughput() {
+  Table table = perf_table();
+  simulate_case<LruPolicy>(table, "simulate/LRU", 256);
+  simulate_case<LruPolicy>(table, "simulate/LRU", 1024);
+  simulate_case<BlockLruNoPrefetch>(table, "simulate/BlockLRU", 256);
+  simulate_case<DetOnlineBlockAware>(table, "simulate/BA-Det", 256);
+  simulate_case<DetOnlineBlockAware>(table, "simulate/BA-Det", 1024);
+  simulate_case<RandomizedBlockAware>(table, "simulate/BA-Rand", 256);
+  bench::emit(table, "bench_perf", "PERF simulator throughput per policy",
+              "simulate");
 }
 
-void BM_FractionalStep(benchmark::State& state) {
-  const auto k = static_cast<int>(state.range(0));
-  const Instance inst = bench_instance(4 * k, 4, k, 2'000);
-  for (auto _ : state) {
-    FractionalBlockAware alg(inst.blocks, inst.k);
-    for (Time t = 1; t <= inst.horizon(); ++t)
-      alg.step(t, inst.request_at(t));
-    benchmark::DoNotOptimize(alg.fractional_cost());
+void ftau_marginals() {
+  Table table = perf_table();
+  for (int n : {256, 1024}) {
+    const Instance inst = bench_instance(n, 8, n / 4, 20'000);
+    run_case(table, "ftau/" + std::to_string(n), inst, inst.horizon(), [&] {
+      FlushCoverage cov(inst.blocks, inst.k);
+      FlushSet S(cov);
+      long long sink = 0;
+      for (Time t = 1; t <= inst.horizon(); ++t) {
+        FlushSet* sets[] = {&S};
+        const PageId p = inst.request_at(t);
+        cov.advance(p, t, sets);
+        const BlockId b = inst.blocks.block_of(p);
+        for (Time at : cov.alive_times(b)) sink += S.f_marginal(b, at);
+      }
+      return static_cast<double>(sink);
+    });
   }
-  state.SetItemsProcessed(state.iterations() * inst.horizon());
+  bench::emit(table, "bench_perf",
+              "PERF incremental f_tau maintenance + marginals", "ftau");
 }
 
-void BM_ExactOptEviction(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  const Instance inst = Instance{
-      BlockMap::contiguous(n, 2),
-      uniform_trace(n, 40, Xoshiro256pp(4)), n / 2};
-  for (auto _ : state) {
-    const OptResult r = exact_opt_eviction(inst);
-    benchmark::DoNotOptimize(r.cost);
+void fractional_step() {
+  Table table = perf_table();
+  for (int k : {16, 32}) {
+    const Instance inst = bench_instance(4 * k, 4, k, 2'000);
+    run_case(table, "fractional/k" + std::to_string(k), inst, inst.horizon(),
+             [&] {
+               FractionalBlockAware alg(inst.blocks, inst.k);
+               for (Time t = 1; t <= inst.horizon(); ++t)
+                 alg.step(t, inst.request_at(t));
+               return alg.fractional_cost();
+             });
   }
+  bench::emit(table, "bench_perf",
+              "PERF fractional algorithm per-step cost", "fractional");
 }
 
-BENCHMARK(BM_Simulate<LruPolicy>)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Simulate<BlockLruNoPrefetch>)->Arg(256)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Simulate<DetOnlineBlockAware>)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Simulate<RandomizedBlockAware>)->Arg(256)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_FtauMarginals)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_FractionalStep)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ExactOptEviction)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+void exact_opt() {
+  Table table = perf_table();
+  for (int n : {10, 12}) {
+    const Instance inst =
+        Instance{BlockMap::contiguous(n, 2),
+                 uniform_trace(n, 40, Xoshiro256pp(bench::seed_of(4))), n / 2};
+    run_case(table, "exact_opt/n" + std::to_string(n), inst, 1, [&] {
+      return exact_opt_eviction(inst).cost;
+    });
+  }
+  bench::emit(table, "bench_perf", "PERF exact-OPT eviction solver",
+              "exact_opt");
+}
+
+BAC_BENCH_EXPERIMENT("simulate", simulator_throughput);
+BAC_BENCH_EXPERIMENT("ftau", ftau_marginals);
+BAC_BENCH_EXPERIMENT("fractional", fractional_step);
+BAC_BENCH_EXPERIMENT("exact_opt", exact_opt);
 
 }  // namespace
 }  // namespace bac

@@ -20,18 +20,29 @@ void rounding_sweep() {
   for (int k : {8, 16, 32, 64}) {
     for (const auto load : {bench::Load::Zipf, bench::Load::BlockLocal}) {
       const int beta = 4;
-      const Instance inst =
-          bench::build_load(load, 3 * k, beta, k, 3000, 23 + k);
+      const Instance inst = bench::build_load(
+          load, 3 * k, beta, k, 3000,
+          bench::seed_of(23 + static_cast<unsigned>(k)));
       RandomizedBlockAware alg;
       StreamingStats cost;
       long long alterations = 0;
-      const int trials = 6;
+      const int trials = bench::trials_or(6);
       for (int i = 0; i < trials; ++i) {
         SimOptions opt;
         opt.seed = 1000 + static_cast<std::uint64_t>(i);
         cost.add(simulate(inst, alg, opt).eviction_cost);
         alterations += alg.alterations();
       }
+      bench::record(
+          bench::shape_of(inst)
+              .named(bench::load_name(load))
+              .costing(cost.mean())
+              .with("frac", alg.fractional_cost())
+              .with("ratio", alg.fractional_cost() > 0
+                                 ? cost.mean() / alg.fractional_cost()
+                                 : 0.0)
+              .with("gamma", alg.gamma())
+              .with("stddev", cost.stddev()));
       table.row()
           .add(k)
           .add(beta)
@@ -55,20 +66,29 @@ void rounding_sweep() {
 void structure_ablation() {
   Table table({"k", "variant", "E[rounded]", "E/frac", "fallbacks"});
   for (int k : {16, 32}) {
-    const Instance inst =
-        bench::build_load(bench::Load::Zipf, 3 * k, 4, k, 2500, 31);
+    const Instance inst = bench::build_load(bench::Load::Zipf, 3 * k, 4, k,
+                                            2500, bench::seed_of(31));
     for (int variant = 0; variant < 2; ++variant) {
       RandomizedBlockAware::Options options;
       options.apply_structure = variant == 0;
       RandomizedBlockAware alg(options);
       StreamingStats cost;
       long long fallbacks = 0;
-      for (int i = 0; i < 5; ++i) {
+      const int trials = bench::trials_or(5);
+      for (int i = 0; i < trials; ++i) {
         SimOptions opt;
         opt.seed = 2000 + static_cast<std::uint64_t>(i);
         cost.add(simulate(inst, alg, opt).eviction_cost);
         fallbacks += alg.fallback_alterations();
       }
+      bench::record(
+          bench::shape_of(inst)
+              .named(variant == 0 ? "zipf0.9/structured" : "zipf0.9/raw")
+              .costing(cost.mean())
+              .with("ratio", alg.fractional_cost() > 0
+                                 ? cost.mean() / alg.fractional_cost()
+                                 : 0.0)
+              .with("fallbacks", static_cast<double>(fallbacks) / trials));
       table.row()
           .add(k)
           .add(variant == 0 ? "with Lemma 3.14 transform" : "raw increments")
@@ -76,7 +96,7 @@ void structure_ablation() {
           .add(alg.fractional_cost() > 0 ? cost.mean() / alg.fractional_cost()
                                          : 0.0,
                2)
-          .add(fallbacks / 5);
+          .add(static_cast<double>(fallbacks) / trials, 1);
     }
   }
   bench::emit(table, "bench_rounding",
@@ -84,11 +104,8 @@ void structure_ablation() {
               "structure_ablation");
 }
 
+BAC_BENCH_EXPERIMENT("sweep", rounding_sweep);
+BAC_BENCH_EXPERIMENT("structure_ablation", structure_ablation);
+
 }  // namespace
 }  // namespace bac
-
-int main() {
-  bac::rounding_sweep();
-  bac::structure_ablation();
-  return 0;
-}

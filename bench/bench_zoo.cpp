@@ -21,7 +21,7 @@ namespace bac {
 namespace {
 
 struct Job {
-  bench::Load load;
+  std::size_t load_index;
   std::size_t policy_index;
   RunResult result;
   std::string policy_name;
@@ -33,28 +33,42 @@ void head_to_head(int beta, int k) {
       bench::Load::Phased};
   const std::size_t n_policies = make_policy_zoo().size();
 
-  std::vector<Job> jobs;
+  // One instance per load, built up front and shared read-only by the
+  // tasks (simulate() never mutates it; each task owns its policy).
+  std::vector<Instance> instances;
+  instances.reserve(loads.size());
   for (const auto load : loads)
+    instances.push_back(
+        bench::build_load(load, 4 * k, beta, k, 12'000, bench::seed_of(97)));
+
+  std::vector<Job> jobs;
+  for (std::size_t li = 0; li < loads.size(); ++li)
     for (std::size_t pi = 0; pi < n_policies; ++pi)
-      jobs.push_back({load, pi, {}, ""});
+      jobs.push_back({li, pi, {}, ""});
 
   global_pool().parallel_for_indexed(jobs.size(), [&](std::size_t i) {
     Job& job = jobs[i];
-    // Each task rebuilds its own instance and policy: no shared state.
-    const Instance inst =
-        bench::build_load(job.load, 4 * k, beta, k, 12'000, 97);
     auto zoo = make_policy_zoo();
     SimOptions options;
     options.seed = 13;
-    job.result = simulate(inst, *zoo[job.policy_index], options);
+    job.result = simulate(instances[job.load_index], *zoo[job.policy_index],
+                          options);
     job.policy_name = zoo[job.policy_index]->name();
   });
 
-  for (const auto load : loads) {
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    const auto load = loads[li];
     Table table({"policy", "evict cost", "fetch cost", "misses",
                  "evict events", "fetch events"});
     for (const Job& job : jobs) {
-      if (job.load != load) continue;
+      if (job.load_index != li) continue;
+      bench::record(
+          bench::shape_of(instances[li])
+              .named(std::string(bench::load_name(load)) + "/" +
+                     job.policy_name)
+              .costing(job.result.eviction_cost)
+              .with("fetch_cost", job.result.fetch_cost)
+              .with("misses", static_cast<double>(job.result.misses)));
       table.row()
           .add(job.policy_name)
           .add(job.result.eviction_cost, 0)
@@ -72,11 +86,8 @@ void head_to_head(int beta, int k) {
   }
 }
 
+BAC_BENCH_EXPERIMENT("beta8", +[] { head_to_head(/*beta=*/8, /*k=*/64); });
+BAC_BENCH_EXPERIMENT("beta2", +[] { head_to_head(/*beta=*/2, /*k=*/64); });
+
 }  // namespace
 }  // namespace bac
-
-int main() {
-  bac::head_to_head(/*beta=*/8, /*k=*/64);
-  bac::head_to_head(/*beta=*/2, /*k=*/64);
-  return 0;
-}

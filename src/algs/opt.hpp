@@ -6,7 +6,7 @@
 // (n <= ~20 pages, T <= ~300). Beyond that, use the LP value
 // (lp/naive_lp.hpp) or the primal-dual duals as lower bounds.
 //
-// Both solvers exploit the normal forms argued in DESIGN.md:
+// Both solvers exploit WLOG normal forms of optimal schedules:
 //  - Eviction model: WLOG evictions are whole-block flushes (refetching is
 //    free) performed at request times, and only the requested page is ever
 //    fetched. Transitions enumerate all subsets of flushable blocks.

@@ -64,9 +64,17 @@ void ThreadPool::parallel_for_indexed(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+namespace {
+std::atomic<std::size_t> g_global_pool_threads{0};
+}  // namespace
+
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool(g_global_pool_threads.load());
   return pool;
+}
+
+void configure_global_pool(std::size_t threads) {
+  g_global_pool_threads.store(threads);
 }
 
 }  // namespace bac

@@ -60,4 +60,9 @@ class ThreadPool {
 /// Process-wide pool for benchmark sweeps.
 ThreadPool& global_pool();
 
+/// Set the size the global pool is built with (0 = hardware concurrency).
+/// Must be called before the first global_pool() use; later calls have no
+/// effect because the pool is already running.
+void configure_global_pool(std::size_t threads);
+
 }  // namespace bac

@@ -66,9 +66,10 @@ TEST(Fractional, DpOracleRunIsExactlyFeasible) {
 }
 
 TEST(Fractional, ThresholdAndDpOracleCostsAreClose) {
-  // The fast threshold oracle may leave rare mixed-level constraints
-  // unsatisfied (see DESIGN.md); its fractional cost should nevertheless
-  // track the exact oracle's closely on typical traces.
+  // The fast threshold oracle only searches the level-set family (see
+  // submodular/separation.hpp) and may leave rare mixed-level constraints
+  // unsatisfied; its fractional cost should nevertheless track the exact
+  // oracle's closely on typical traces.
   Xoshiro256pp rng(60);
   const Instance inst = make_instance(12, 3, 4,
                                       zipf_trace(12, 150, 0.9, rng));
@@ -95,8 +96,9 @@ TEST(Fractional, IntegralSetMembersHavePhiOne) {
   // invariant: elements enter S exactly when their variable saturates).
   for (BlockId b = 0; b < inst.blocks.n_blocks(); ++b) {
     const Time m = alg.integral_set().max_flush(b);
-    if (m > 0)
+    if (m > 0) {
       EXPECT_NEAR(alg.vars().get(b, m), 1.0, 1e-6) << "block " << b;
+    }
   }
 }
 

@@ -71,9 +71,13 @@ TEST(ExactOpt, NeverExceedsAnyFeasibleSchedule) {
     OptLimits limits;
     limits.max_layer_states = 500'000;
     const OptResult f = exact_opt_fetching(built.instance, limits);
-    if (f.exact) EXPECT_LE(f.cost, sc.fetch_cost + 1e-9) << "beta=" << beta;
+    if (f.exact) {
+      EXPECT_LE(f.cost, sc.fetch_cost + 1e-9) << "beta=" << beta;
+    }
     const OptResult e = exact_opt_eviction(built.instance, limits);
-    if (e.exact) EXPECT_LE(e.cost, sc.eviction_cost + 1e-9);
+    if (e.exact) {
+      EXPECT_LE(e.cost, sc.eviction_cost + 1e-9);
+    }
   }
 }
 

@@ -101,8 +101,9 @@ TEST(Separation, DpOracleIsExactAgainstExhaustive) {
     }
   }
   EXPECT_GT(violated_cases, 10) << "test should exercise violated cases";
-  // Known incompleteness of the threshold family (see DESIGN.md): it may
-  // miss mixed-level violations, but should catch the large majority.
+  // Known incompleteness of the threshold family (it only searches the
+  // level sets documented in submodular/separation.hpp): it may miss
+  // mixed-level violations, but should catch the large majority.
   EXPECT_LE(threshold_misses * 4, violated_cases);
 }
 
