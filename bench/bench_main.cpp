@@ -6,7 +6,6 @@
 #include "bench_common.hpp"
 
 #include <cerrno>
-#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -14,6 +13,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/json.hpp"
 #include "util/timer.hpp"
 
 namespace bac::bench {
@@ -56,34 +56,6 @@ void usage(const char* argv0) {
       "  --only     run just the named experiment (repeatable)\n"
       "  --list     print registered experiments and exit\n",
       argv0);
-}
-
-/// JSON string escaping for the few places we emit text.
-void write_json_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-/// Doubles that JSON cannot represent (inf/nan) become null.
-void write_json_number(std::ostream& os, double x) {
-  if (std::isfinite(x)) os << x;
-  else os << "null";
 }
 
 void write_json(const std::string& path, const std::string& bench) {

@@ -33,6 +33,9 @@ class LruPolicy final : public OnlinePolicy {
   [[nodiscard]] std::string name() const override { return "LRU"; }
   void reset(const Instance& inst) override;
   void on_request(Time t, PageId p, CacheOps& cache) override;
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> clone() const override {
+    return std::make_unique<LruPolicy>(*this);
+  }
 
  private:
   std::vector<Time> last_used_;
@@ -44,6 +47,9 @@ class FifoPolicy final : public OnlinePolicy {
   [[nodiscard]] std::string name() const override { return "FIFO"; }
   void reset(const Instance& inst) override;
   void on_request(Time t, PageId p, CacheOps& cache) override;
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> clone() const override {
+    return std::make_unique<FifoPolicy>(*this);
+  }
 
  private:
   std::vector<Time> arrival_;
@@ -55,6 +61,9 @@ class LfuPolicy final : public OnlinePolicy {
   [[nodiscard]] std::string name() const override { return "LFU"; }
   void reset(const Instance& inst) override;
   void on_request(Time t, PageId p, CacheOps& cache) override;
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> clone() const override {
+    return std::make_unique<LfuPolicy>(*this);
+  }
 
  private:
   std::vector<long long> freq_;
@@ -69,6 +78,10 @@ class MarkingPolicy final : public OnlinePolicy {
   void reset(const Instance& inst) override;
   void seed(std::uint64_t s) override { rng_ = Xoshiro256pp(s); }
   void on_request(Time t, PageId p, CacheOps& cache) override;
+  [[nodiscard]] bool randomized() const override { return true; }
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> clone() const override {
+    return std::make_unique<MarkingPolicy>(*this);
+  }
 
  private:
   std::vector<char> marked_;
@@ -87,6 +100,10 @@ class BeladyPolicy final : public OnlinePolicy {
   [[nodiscard]] std::string name() const override { return "Belady"; }
   void reset(const Instance& inst) override;
   void on_request(Time t, PageId p, CacheOps& cache) override;
+  [[nodiscard]] bool requires_future() const override { return true; }
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> clone() const override {
+    return std::make_unique<BeladyPolicy>(*this);
+  }
 
  private:
   std::vector<std::vector<Time>> occurrences_;  // per page, ascending
@@ -103,6 +120,9 @@ class GreedyDualPolicy final : public OnlinePolicy {
   [[nodiscard]] std::string name() const override { return "GreedyDual"; }
   void reset(const Instance& inst) override;
   void on_request(Time t, PageId p, CacheOps& cache) override;
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> clone() const override {
+    return std::make_unique<GreedyDualPolicy>(*this);
+  }
 
  private:
   const BlockMap* blocks_ = nullptr;
@@ -122,6 +142,9 @@ class BlockLruPolicy final : public OnlinePolicy {
   }
   void reset(const Instance& inst) override;
   void on_request(Time t, PageId p, CacheOps& cache) override;
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> clone() const override {
+    return std::make_unique<BlockLruPolicy>(*this);
+  }
 
  private:
   bool prefetch_;

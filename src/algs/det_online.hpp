@@ -39,6 +39,11 @@ class DetOnlineBlockAware final : public OnlinePolicy {
   [[nodiscard]] std::string name() const override { return "BA-Det(Alg1)"; }
   void reset(const Instance& inst) override;
   void on_request(Time t, PageId p, CacheOps& cache) override;
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> clone() const override {
+    // Valid after reset(), which re-emplaces cov_/S_ (the copied S_ still
+    // references the source's coverage until then).
+    return std::make_unique<DetOnlineBlockAware>(*this);
+  }
 
   /// Feasible dual objective accumulated so far (lower bound on OPT_evict).
   [[nodiscard]] double dual_objective() const noexcept { return dual_obj_; }

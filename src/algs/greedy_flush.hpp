@@ -21,6 +21,9 @@ class GreedyFlushPolicy final : public OnlinePolicy {
   [[nodiscard]] std::string name() const override { return "GreedyFlush"; }
   void reset(const Instance& inst) override;
   void on_request(Time t, PageId p, CacheOps& cache) override;
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> clone() const override {
+    return std::make_unique<GreedyFlushPolicy>(*this);
+  }
 
  private:
   std::vector<int> cached_count_;  // cached pages per block

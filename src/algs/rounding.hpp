@@ -50,6 +50,13 @@ class RandomizedBlockAware final : public OnlinePolicy {
   void reset(const Instance& inst) override;
   void seed(std::uint64_t s) override { rng_ = Xoshiro256pp(s); }
   void on_request(Time t, PageId p, CacheOps& cache) override;
+  [[nodiscard]] bool randomized() const override { return true; }
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> clone() const override {
+    // Run state is not copyable (the fractional substrate owns its
+    // separation oracle); a fresh policy with the same configuration is
+    // equivalent since clones are reset and reseeded before use.
+    return std::make_unique<RandomizedBlockAware>(options_);
+  }
 
   /// Underlying fractional (Algorithm 2) eviction cost.
   [[nodiscard]] double fractional_cost() const {

@@ -35,6 +35,11 @@ class ThresholdBicriteriaPolicy final : public OnlinePolicy {
   }
   void reset(const Instance& inst) override;
   void on_request(Time t, PageId p, CacheOps& cache) override;
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> clone() const override {
+    // Valid after reset(), which re-emplaces half_/frac_ (the copied frac_
+    // still references the source's half-size instance until then).
+    return std::make_unique<ThresholdBicriteriaPolicy>(*this);
+  }
 
   /// The fractional substrate's block-batched costs (comparison baseline
   /// for the 2x guarantees).

@@ -1,5 +1,7 @@
 #include "algs/zoo.hpp"
 
+#include <stdexcept>
+
 #include "algs/classical/classical.hpp"
 #include "algs/det_online.hpp"
 #include "algs/greedy_flush.hpp"
@@ -29,6 +31,65 @@ std::vector<std::unique_ptr<OnlinePolicy>> make_policy_zoo(
         ThresholdBicriteriaPolicy::Mode::Fetching));
   }
   return zoo;
+}
+
+namespace {
+struct NamedFactory {
+  const char* name;
+  std::unique_ptr<OnlinePolicy> (*make)();
+};
+
+const NamedFactory kRegistry[] = {
+    {"lru", [] { return std::unique_ptr<OnlinePolicy>(
+                     std::make_unique<LruPolicy>()); }},
+    {"fifo", [] { return std::unique_ptr<OnlinePolicy>(
+                      std::make_unique<FifoPolicy>()); }},
+    {"lfu", [] { return std::unique_ptr<OnlinePolicy>(
+                     std::make_unique<LfuPolicy>()); }},
+    {"marking", [] { return std::unique_ptr<OnlinePolicy>(
+                         std::make_unique<MarkingPolicy>()); }},
+    {"greedy_dual", [] { return std::unique_ptr<OnlinePolicy>(
+                             std::make_unique<GreedyDualPolicy>()); }},
+    {"belady", [] { return std::unique_ptr<OnlinePolicy>(
+                        std::make_unique<BeladyPolicy>()); }},
+    {"block_lru", [] { return std::unique_ptr<OnlinePolicy>(
+                           std::make_unique<BlockLruPolicy>(false)); }},
+    {"block_lru_prefetch",
+     [] { return std::unique_ptr<OnlinePolicy>(
+              std::make_unique<BlockLruPolicy>(true)); }},
+    {"greedy_flush", [] { return std::unique_ptr<OnlinePolicy>(
+                              std::make_unique<GreedyFlushPolicy>()); }},
+    {"det_online", [] { return std::unique_ptr<OnlinePolicy>(
+                            std::make_unique<DetOnlineBlockAware>()); }},
+    {"rand_online", [] { return std::unique_ptr<OnlinePolicy>(
+                             std::make_unique<RandomizedBlockAware>()); }},
+    {"threshold_fetch",
+     [] { return std::unique_ptr<OnlinePolicy>(
+              std::make_unique<ThresholdBicriteriaPolicy>(
+                  ThresholdBicriteriaPolicy::Mode::Fetching)); }},
+    {"threshold_evict",
+     [] { return std::unique_ptr<OnlinePolicy>(
+              std::make_unique<ThresholdBicriteriaPolicy>(
+                  ThresholdBicriteriaPolicy::Mode::Eviction)); }},
+};
+}  // namespace
+
+std::vector<std::string> policy_names() {
+  std::vector<std::string> names;
+  for (const NamedFactory& f : kRegistry) names.emplace_back(f.name);
+  return names;
+}
+
+std::unique_ptr<OnlinePolicy> make_policy(const std::string& name) {
+  for (const NamedFactory& f : kRegistry)
+    if (name == f.name) return f.make();
+  std::string known;
+  for (const NamedFactory& f : kRegistry) {
+    if (!known.empty()) known += ", ";
+    known += f.name;
+  }
+  throw std::invalid_argument("make_policy: unknown policy '" + name +
+                              "' (known: " + known + ")");
 }
 
 }  // namespace bac

@@ -1,7 +1,10 @@
-// Factory for the full policy line-up used by head-to-head benchmarks.
+// Factory for the full policy line-up used by head-to-head benchmarks,
+// plus the by-name registry the bacsim sweep driver resolves CLI policy
+// lists against.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/policy.hpp"
@@ -16,5 +19,13 @@ enum class ZooSelection {
 
 std::vector<std::unique_ptr<OnlinePolicy>> make_policy_zoo(
     ZooSelection selection = ZooSelection::All);
+
+/// Registry names accepted by make_policy (stable CLI identifiers, unlike
+/// the display names policies report via name()).
+std::vector<std::string> policy_names();
+
+/// Construct a policy by registry name; throws std::invalid_argument for
+/// unknown names (the message lists the registry).
+std::unique_ptr<OnlinePolicy> make_policy(const std::string& name);
 
 }  // namespace bac

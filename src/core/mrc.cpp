@@ -1,0 +1,84 @@
+#include "core/mrc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace bac {
+
+MissRatioCurve::MissRatioCurve(int n_pages)
+    : n_pages_(n_pages),
+      last_pos_(static_cast<std::size_t>(n_pages), -1),
+      capacity_(4 * static_cast<std::size_t>(std::max(n_pages, 16))),
+      hist_(static_cast<std::size_t>(n_pages), 0) {
+  if (n_pages <= 0) throw std::invalid_argument("MissRatioCurve: n_pages");
+  fenwick_.assign(capacity_ + 1, 0);
+}
+
+void MissRatioCurve::fenwick_add(std::int64_t pos, int delta) {
+  for (auto i = static_cast<std::size_t>(pos) + 1; i <= capacity_;
+       i += i & (~i + 1))
+    fenwick_[i] += delta;
+}
+
+int MissRatioCurve::fenwick_suffix(std::int64_t pos) const {
+  // #occupied slots at positions strictly greater than pos: every seen
+  // page occupies exactly one slot, so subtract the prefix count.
+  int below = 0;
+  for (auto i = static_cast<std::size_t>(pos) + 1; i > 0; i -= i & (~i + 1))
+    below += fenwick_[i];
+  return seen_ - below;
+}
+
+void MissRatioCurve::compact() {
+  // Reassign positions 0..seen-1 preserving relative order.
+  std::vector<PageId> by_pos;
+  by_pos.reserve(last_pos_.size());
+  for (PageId p = 0; p < n_pages_; ++p)
+    if (last_pos_[static_cast<std::size_t>(p)] >= 0) by_pos.push_back(p);
+  std::sort(by_pos.begin(), by_pos.end(), [&](PageId a, PageId b) {
+    return last_pos_[static_cast<std::size_t>(a)] <
+           last_pos_[static_cast<std::size_t>(b)];
+  });
+  std::fill(fenwick_.begin(), fenwick_.end(), 0);
+  std::int64_t pos = 0;
+  for (PageId p : by_pos) {
+    last_pos_[static_cast<std::size_t>(p)] = pos;
+    fenwick_add(pos, +1);
+    ++pos;
+  }
+  next_pos_ = pos;
+}
+
+void MissRatioCurve::add(PageId p) {
+  if (p < 0 || p >= n_pages_)
+    throw std::out_of_range("MissRatioCurve: page out of range");
+  // Compact while the state is consistent (one slot per seen page),
+  // before this request's slot moves.
+  if (static_cast<std::size_t>(next_pos_) >= capacity_) compact();
+  ++total_;
+  const std::int64_t prev = last_pos_[static_cast<std::size_t>(p)];
+  if (prev < 0) {
+    ++compulsory_;  // infinite distance: a miss at every cache size
+    ++seen_;
+  } else {
+    const int above = fenwick_suffix(prev);  // distinct pages since p
+    ++hist_[static_cast<std::size_t>(std::min(above, n_pages_ - 1))];
+    fenwick_add(prev, -1);
+  }
+  last_pos_[static_cast<std::size_t>(p)] = next_pos_;
+  fenwick_add(next_pos_, +1);
+  ++next_pos_;
+}
+
+double MissRatioCurve::miss_ratio(int k) const {
+  if (total_ == 0) return 1.0;
+  if (k <= 0) return 1.0;
+  long long hits = 0;
+  const auto upto = static_cast<std::size_t>(
+      std::min<long long>(k, static_cast<long long>(hist_.size())));
+  for (std::size_t d = 0; d < upto; ++d) hits += hist_[d];
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+}  // namespace bac

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/cache_set.hpp"
@@ -111,6 +112,23 @@ class OnlinePolicy {
   /// Serve the request to page p at time t. Postconditions audited by the
   /// simulator: p is cached and size() <= capacity().
   virtual void on_request(Time t, PageId p, CacheOps& cache) = 0;
+
+  /// True for policies whose behaviour depends on seed() (Monte-Carlo
+  /// trials are only meaningful for these).
+  [[nodiscard]] virtual bool randomized() const { return false; }
+
+  /// True for offline policies that read the future out of reset()'s
+  /// Instance; the simulator refuses to run them over non-materialized
+  /// streaming sources, whose context carries no request vector.
+  [[nodiscard]] virtual bool requires_future() const { return false; }
+
+  /// Fresh copy for parallel Monte-Carlo trials, or nullptr when the
+  /// policy is not cloneable (simulate_mc then falls back to serial
+  /// trials). Clones are only valid after a reset() — copied internal
+  /// pointers may still reference the original's state until then.
+  [[nodiscard]] virtual std::unique_ptr<OnlinePolicy> clone() const {
+    return nullptr;
+  }
 };
 
 }  // namespace bac

@@ -1,0 +1,148 @@
+// Streaming request sources: the simulator's input abstraction.
+//
+// A RequestSource yields requests one at a time over a fixed static
+// structure (block map + cache size), so simulations never need the whole
+// request vector in memory — the enabler for replaying multi-hundred-
+// million-request production traces. The materialized Instance becomes
+// just one adapter (InstanceSource); synthetic generators, the v1 text
+// format, the .bact binary format, and CSV key traces provide the others.
+//
+// Contract:
+//   - context() is valid for the source's lifetime and carries the block
+//     structure and k. For materialized sources it also carries the full
+//     request vector (offline policies need it); for true streams its
+//     `requests` is empty and materialized() is false.
+//   - next() yields requests in order; rewind() restarts the stream so
+//     Monte-Carlo trials can replay the same sequence.
+//   - horizon_hint() is the number of requests when known upfront
+//     (reserve() sizing), or -1 for open-ended streams.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "util/rng.hpp"
+
+namespace bac {
+
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// Static structure: blocks and k (plus requests when materialized()).
+  [[nodiscard]] virtual const Instance& context() const = 0;
+
+  /// True when context().requests holds the whole trace.
+  [[nodiscard]] virtual bool materialized() const { return false; }
+
+  /// Number of requests the stream will yield, or -1 when unknown.
+  [[nodiscard]] virtual long long horizon_hint() const { return -1; }
+
+  /// Yield the next request into `p`; false at end of stream.
+  virtual bool next(PageId& p) = 0;
+
+  /// Restart from the first request.
+  virtual void rewind() = 0;
+};
+
+/// Adapter over a materialized Instance (borrowed or owned). This is what
+/// simulate(const Instance&, ...) wraps, so the whole existing test and
+/// bench surface runs through the streaming core unchanged.
+class InstanceSource final : public RequestSource {
+ public:
+  /// Borrow `inst` (must outlive the source).
+  explicit InstanceSource(const Instance& inst) : inst_(&inst) {}
+  /// Take ownership of `inst`.
+  explicit InstanceSource(Instance&& inst)
+      : owned_(std::make_unique<Instance>(std::move(inst))),
+        inst_(owned_.get()) {}
+
+  [[nodiscard]] const Instance& context() const override { return *inst_; }
+  [[nodiscard]] bool materialized() const override { return true; }
+  [[nodiscard]] long long horizon_hint() const override {
+    return static_cast<long long>(inst_->requests.size());
+  }
+
+  bool next(PageId& p) override {
+    if (pos_ >= inst_->requests.size()) return false;
+    p = inst_->requests[pos_++];
+    return true;
+  }
+  void rewind() override { pos_ = 0; }
+
+ private:
+  std::unique_ptr<Instance> owned_;
+  const Instance* inst_;
+  std::size_t pos_ = 0;
+};
+
+/// Streaming adapter over the synthetic workload generators: produces
+/// exactly the sequence the corresponding trace/generators.hpp function
+/// materializes (same RNG, same per-step draws), but one request at a
+/// time with O(n_pages) state. rewind() restores the seed state, so every
+/// replay is identical.
+class SyntheticSource final : public RequestSource {
+ public:
+  /// Mirrors uniform_trace(n_pages, T, rng) over contiguous blocks.
+  static std::unique_ptr<SyntheticSource> uniform(int n_pages, int block_size,
+                                                  int k, long long T,
+                                                  std::uint64_t seed);
+  /// Mirrors zipf_trace(n_pages, T, alpha, rng).
+  static std::unique_ptr<SyntheticSource> zipf(int n_pages, int block_size,
+                                               int k, long long T,
+                                               double alpha,
+                                               std::uint64_t seed);
+  /// Mirrors scan_trace(n_pages, T).
+  static std::unique_ptr<SyntheticSource> scan(int n_pages, int block_size,
+                                               int k, long long T);
+  /// Mirrors phased_trace(n_pages, T, phase_len, ws_size, rng).
+  static std::unique_ptr<SyntheticSource> phased(int n_pages, int block_size,
+                                                 int k, long long T,
+                                                 long long phase_len,
+                                                 int ws_size,
+                                                 std::uint64_t seed);
+  /// Mirrors block_local_trace(blocks, T, stay, alpha, rng) over
+  /// contiguous blocks.
+  static std::unique_ptr<SyntheticSource> block_local(int n_pages,
+                                                      int block_size, int k,
+                                                      long long T, double stay,
+                                                      double alpha,
+                                                      std::uint64_t seed);
+
+  [[nodiscard]] const Instance& context() const override { return header_; }
+  [[nodiscard]] long long horizon_hint() const override { return T_; }
+  bool next(PageId& p) override;
+  void rewind() override;
+
+ private:
+  enum class Kind { Uniform, Zipf, Scan, Phased, BlockLocal };
+
+  SyntheticSource(Kind kind, int n_pages, int block_size, int k, long long T,
+                  std::uint64_t seed);
+
+  Kind kind_;
+  Instance header_;  ///< blocks + k, empty requests
+  long long T_;
+  long long t_ = 0;  ///< requests yielded so far
+  std::uint64_t seed_;
+  Xoshiro256pp rng_;
+
+  // Zipf / BlockLocal: normalized cumulative popularity weights.
+  std::vector<double> cum_;
+  double total_ = 0;
+  double alpha_ = 0;
+  // Phased.
+  long long phase_len_ = 0;
+  int ws_size_ = 0;
+  std::vector<PageId> universe_;
+  std::vector<PageId> ws_;
+  // BlockLocal.
+  double stay_ = 0;
+  BlockId current_block_ = 0;
+
+  void reset_state();
+};
+
+}  // namespace bac

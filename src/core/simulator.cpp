@@ -1,40 +1,73 @@
 #include "core/simulator.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <string>
 
+#include "core/mrc.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bac {
 
-RunResult simulate(const Instance& inst, OnlinePolicy& policy,
+RunResult simulate(RequestSource& source, OnlinePolicy& policy,
                    const SimOptions& options) {
-  inst.validate();
-  CacheSet cache(inst.n_pages());
-  CostMeter meter(inst.blocks);
-  CacheOps ops(inst.blocks, cache, meter, inst.k);
+  const Instance& ctx = source.context();
+  ctx.validate();
+  if (policy.requires_future() && !source.materialized())
+    throw std::invalid_argument(
+        "simulate: offline policy " + policy.name() +
+        " needs a materialized instance, not a streaming source");
 
-  policy.reset(inst);
+  CacheSet cache(ctx.n_pages());
+  CostMeter meter(ctx.blocks);
+  CacheOps ops(ctx.blocks, cache, meter, ctx.k);
+
+  policy.reset(ctx);
   policy.seed(options.seed);
 
   RunResult result;
-  const Time T = inst.horizon();
-  if (options.record_steps) {
-    result.step_eviction_cost.reserve(static_cast<std::size_t>(T));
-    result.step_fetch_cost.reserve(static_cast<std::size_t>(T));
+  const long long hint = source.horizon_hint();
+  if (options.record_steps && hint > 0) {
+    result.step_eviction_cost.reserve(static_cast<std::size_t>(hint));
+    result.step_fetch_cost.reserve(static_cast<std::size_t>(hint));
   }
-  if (options.record_schedule)
-    result.schedule.steps.resize(static_cast<std::size_t>(T));
+  if (options.record_schedule && hint > 0)
+    result.schedule.steps.reserve(static_cast<std::size_t>(hint));
 
+  P2Quantile p50(0.50), p90(0.90), p99(0.99);
+  std::unique_ptr<MissRatioCurve> mrc;
+  if (!options.mrc_ks.empty())
+    mrc = std::make_unique<MissRatioCurve>(ctx.n_pages());
+
+  // Materialized sources were validated above; raw streams can still yield
+  // garbage, so bound-check their pages as they arrive.
+  const bool check_pages = !source.materialized();
   Cost prev_evict = 0, prev_fetch = 0;
-  for (Time t = 1; t <= T; ++t) {
-    const PageId p = inst.request_at(t);
+  long long served = 0;
+  Time t = 0;
+  PageId p = 0;
+  while (source.next(p)) {
+    // Time is 32-bit throughout the policy layer; refuse to wrap rather
+    // than hand policies negative timestamps.
+    if (served == std::numeric_limits<Time>::max())
+      throw std::runtime_error(
+          "simulate: trace exceeds 2^31-1 requests (Time is 32-bit)");
+    ++served;
+    ++t;
+    if (check_pages && (p < 0 || p >= ctx.n_pages()))
+      throw std::runtime_error(
+          "simulate: source yielded page " + std::to_string(p) +
+          " outside [0, " + std::to_string(ctx.n_pages()) + ") at t=" +
+          std::to_string(t));
     meter.begin_step(t);
     if (options.record_schedule) {
-      auto& step = result.schedule.steps[static_cast<std::size_t>(t - 1)];
+      result.schedule.steps.emplace_back();
+      auto& step = result.schedule.steps.back();
       ops.set_capture(&step.evictions, &step.fetches);
     }
     if (!cache.contains(p)) ++result.misses;
+    if (mrc) mrc->add(p);
     policy.on_request(t, p, ops);
 
     // Feasibility audit: requested page present, capacity respected.
@@ -46,13 +79,13 @@ RunResult simulate(const Instance& inst, OnlinePolicy& policy,
       ++result.violations;
       ops.fetch(p);
     }
-    if (cache.size() > inst.k) {
+    if (cache.size() > ctx.k) {
       if (options.throw_on_violation)
         throw std::runtime_error("simulate: policy " + policy.name() +
                                  " exceeded capacity at t=" + std::to_string(t));
       ++result.violations;
       // Repair: evict arbitrary non-requested pages.
-      while (cache.size() > inst.k) {
+      while (cache.size() > ctx.k) {
         for (PageId q : cache.pages()) {
           if (q != p) {
             ops.evict(q);
@@ -65,11 +98,30 @@ RunResult simulate(const Instance& inst, OnlinePolicy& policy,
     if (options.record_steps) {
       result.step_eviction_cost.push_back(meter.eviction_cost() - prev_evict);
       result.step_fetch_cost.push_back(meter.fetch_cost() - prev_fetch);
+    }
+    if (options.record_sketch) {
+      const Cost step_cost = (meter.eviction_cost() - prev_evict) +
+                             (meter.fetch_cost() - prev_fetch);
+      p50.add(step_cost);
+      p90.add(step_cost);
+      p99.add(step_cost);
+      if (step_cost > result.step_cost_max) result.step_cost_max = step_cost;
+    }
+    if (options.record_steps || options.record_sketch) {
       prev_evict = meter.eviction_cost();
       prev_fetch = meter.fetch_cost();
     }
   }
 
+  result.requests = served;
+  if (options.record_sketch) {
+    result.step_cost_p50 = p50.value();
+    result.step_cost_p90 = p90.value();
+    result.step_cost_p99 = p99.value();
+  }
+  if (mrc)
+    for (const int k : options.mrc_ks)
+      result.miss_curve.emplace_back(k, mrc->miss_ratio(k));
   result.eviction_cost = meter.eviction_cost();
   result.fetch_cost = meter.fetch_cost();
   result.classic_eviction_cost = meter.classic_eviction_cost();
@@ -81,23 +133,111 @@ RunResult simulate(const Instance& inst, OnlinePolicy& policy,
   return result;
 }
 
-MonteCarloResult simulate_mc(const Instance& inst, OnlinePolicy& policy,
-                             int trials, std::uint64_t root_seed) {
-  StreamingStats evict, fetch;
-  for (int i = 0; i < trials; ++i) {
-    SimOptions options;
-    options.seed = root_seed + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
-    const RunResult r = simulate(inst, policy, options);
+RunResult simulate(const Instance& inst, OnlinePolicy& policy,
+                   const SimOptions& options) {
+  InstanceSource source(inst);
+  return simulate(source, policy, options);
+}
+
+namespace {
+
+std::uint64_t trial_seed(std::uint64_t root_seed, int trial) {
+  return root_seed + static_cast<std::uint64_t>(trial) * 0x9e3779b97f4a7c15ULL;
+}
+
+MonteCarloResult reduce_trials(const std::vector<RunResult>& runs) {
+  // Index-order reduction: identical output for any execution order.
+  StreamingStats evict, fetch, total;
+  long long requests = 0;
+  for (const RunResult& r : runs) {
     evict.add(r.eviction_cost);
     fetch.add(r.fetch_cost);
+    total.add(r.eviction_cost + r.fetch_cost);
+    requests += r.requests;
   }
   MonteCarloResult out;
   out.mean_eviction_cost = evict.mean();
   out.mean_fetch_cost = fetch.mean();
   out.stddev_eviction_cost = evict.stddev();
   out.stddev_fetch_cost = fetch.stddev();
-  out.trials = trials;
+  out.mean_total_cost = total.mean();
+  out.stddev_total_cost = total.stddev();
+  out.total_requests = requests;
+  out.trials = static_cast<int>(runs.size());
   return out;
+}
+
+SimOptions trial_options(std::uint64_t root_seed, int trial) {
+  SimOptions options;
+  options.seed = trial_seed(root_seed, trial);
+  options.record_sketch = false;  // trials only aggregate totals
+  return options;
+}
+
+}  // namespace
+
+MonteCarloResult simulate_mc(const Instance& inst, OnlinePolicy& policy,
+                             int trials, std::uint64_t root_seed) {
+  if (trials <= 0) return {};
+  std::vector<RunResult> runs(static_cast<std::size_t>(trials));
+  ThreadPool& pool = global_pool();
+  // Clone up front (serially — clones copy the prototype, which must not
+  // be mutated concurrently). The last trial runs on the prototype itself
+  // so callers that read policy state afterwards see a completed run,
+  // matching the serial semantics ("reflects the last trial").
+  std::vector<std::unique_ptr<OnlinePolicy>> clones;
+  if (trials > 1 && pool.size() > 1) {
+    clones.reserve(static_cast<std::size_t>(trials) - 1);
+    for (int i = 0; i + 1 < trials; ++i) {
+      auto c = policy.clone();
+      if (!c) {
+        clones.clear();
+        break;
+      }
+      clones.push_back(std::move(c));
+    }
+  }
+  if (!clones.empty()) {
+    pool.parallel_for_indexed(
+        static_cast<std::size_t>(trials), [&](std::size_t i) {
+          OnlinePolicy& trial_policy =
+              i + 1 == static_cast<std::size_t>(trials) ? policy : *clones[i];
+          runs[i] = simulate(inst, trial_policy,
+                             trial_options(root_seed, static_cast<int>(i)));
+        });
+  } else {
+    for (int i = 0; i < trials; ++i)
+      runs[static_cast<std::size_t>(i)] =
+          simulate(inst, policy, trial_options(root_seed, i));
+  }
+  return reduce_trials(runs);
+}
+
+MonteCarloResult simulate_mc(
+    const std::function<std::unique_ptr<RequestSource>()>& make_source,
+    const std::function<std::unique_ptr<OnlinePolicy>()>& make_policy,
+    int trials, std::uint64_t root_seed) {
+  if (trials <= 0) return {};
+  std::vector<RunResult> runs(static_cast<std::size_t>(trials));
+  ThreadPool& pool = global_pool();
+  if (trials > 1 && pool.size() > 1) {
+    pool.parallel_for_indexed(
+        static_cast<std::size_t>(trials), [&](std::size_t i) {
+          const auto source = make_source();
+          const auto policy = make_policy();
+          runs[i] = simulate(*source, *policy,
+                             trial_options(root_seed, static_cast<int>(i)));
+        });
+  } else {
+    const auto source = make_source();
+    const auto policy = make_policy();
+    for (int i = 0; i < trials; ++i) {
+      source->rewind();
+      runs[static_cast<std::size_t>(i)] =
+          simulate(*source, *policy, trial_options(root_seed, i));
+    }
+  }
+  return reduce_trials(runs);
 }
 
 }  // namespace bac

@@ -1,12 +1,23 @@
-// Replayable simulator: drives a policy over an instance, audits
+// Replayable simulator: drives a policy over a request stream, audits
 // feasibility at every step, and accumulates costs under both cost models.
+//
+// The core loop consumes a RequestSource, so it runs identically over a
+// materialized Instance (the InstanceSource adapter — the historical API,
+// still the signature every test uses) and over streaming traces (.bact,
+// text, CSV, synthetic generators) whose length never enters memory.
+// Per-step costs are folded online into O(1)-memory P^2 percentile
+// sketches; an optional single-pass LRU miss-ratio curve rides along.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/instance.hpp"
 #include "core/policy.hpp"
+#include "core/request_source.hpp"
 #include "core/schedule.hpp"
 #include "core/types.hpp"
 
@@ -17,6 +28,10 @@ struct SimOptions {
   bool record_steps = false;     ///< keep per-step cost series
   bool record_schedule = false;  ///< capture the policy's actions
   bool throw_on_violation = true;///< throw instead of silently repairing
+  bool record_sketch = true;     ///< per-step cost percentile sketches (O(1))
+  /// Cache sizes to evaluate the single-pass LRU miss-ratio curve at;
+  /// empty disables the curve (it costs O(log n) per request).
+  std::vector<int> mrc_ks;
 };
 
 struct RunResult {
@@ -28,15 +43,30 @@ struct RunResult {
   long long fetch_block_events = 0;
   long long evicted_pages = 0;
   long long fetched_pages = 0;
+  long long requests = 0;///< requests served (streams may not know upfront)
   long long misses = 0;  ///< requests not already cached
   int violations = 0;    ///< feasibility repairs (0 for a correct policy)
+  /// P^2 percentile sketch of per-step total (eviction+fetch) cost, and
+  /// the exact per-step maximum; filled when record_sketch.
+  double step_cost_p50 = 0;
+  double step_cost_p90 = 0;
+  double step_cost_p99 = 0;
+  double step_cost_max = 0;
+  /// (k, LRU miss ratio) per requested mrc_ks entry.
+  std::vector<std::pair<int, double>> miss_curve;
   std::vector<Cost> step_eviction_cost;  // filled when record_steps
   std::vector<Cost> step_fetch_cost;
   Schedule schedule;  ///< the policy's actions, when record_schedule
 };
 
-/// Run `policy` over `inst`. The cache starts empty (the paper's convention:
-/// time-0 flushes are free, i.e. initial contents are irrelevant).
+/// Run `policy` over the stream. The cache starts empty (the paper's
+/// convention: time-0 flushes are free, i.e. initial contents are
+/// irrelevant). Throws std::invalid_argument if the policy requires the
+/// future (offline) and the source is not materialized.
+RunResult simulate(RequestSource& source, OnlinePolicy& policy,
+                   const SimOptions& options = {});
+
+/// Run `policy` over `inst` (wraps an InstanceSource).
 RunResult simulate(const Instance& inst, OnlinePolicy& policy,
                    const SimOptions& options = {});
 
@@ -46,9 +76,28 @@ struct MonteCarloResult {
   double mean_fetch_cost = 0;
   double stddev_eviction_cost = 0;
   double stddev_fetch_cost = 0;
+  /// Of per-trial total (eviction + fetch) cost — NOT derivable from the
+  /// per-component stddevs (those ignore their covariance).
+  double mean_total_cost = 0;
+  double stddev_total_cost = 0;
+  long long total_requests = 0;  ///< requests served across all trials
   int trials = 0;
 };
+
+/// Trials are sharded across the global thread pool when the policy is
+/// cloneable (OnlinePolicy::clone), falling back to serial replay
+/// otherwise. Per-trial seeds depend only on (root_seed, trial index), and
+/// the reduction runs in index order, so results are bit-identical to the
+/// serial path regardless of thread count.
 MonteCarloResult simulate_mc(const Instance& inst, OnlinePolicy& policy,
                              int trials, std::uint64_t root_seed = 1);
+
+/// Fully factory-based variant for streaming sweeps: each trial gets its
+/// own source and policy, so trials parallelize without shared state. The
+/// factories must be thread-safe (they are called from pool workers).
+MonteCarloResult simulate_mc(
+    const std::function<std::unique_ptr<RequestSource>()>& make_source,
+    const std::function<std::unique_ptr<OnlinePolicy>()>& make_policy,
+    int trials, std::uint64_t root_seed = 1);
 
 }  // namespace bac

@@ -1,0 +1,232 @@
+#include "driver/sweep.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "algs/zoo.hpp"
+#include "core/simulator.hpp"
+#include "trace/bact.hpp"
+#include "trace/csv.hpp"
+#include "trace/trace_io.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace bac::driver {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// File specs are paths (contain '/') or carry a trace extension; this
+/// keeps synthetic names like "zipf0.9" synthetic while "zipf_day1.bact"
+/// routes to the trace reader.
+bool is_file_spec(const std::string& spec) {
+  return spec.find('/') != std::string::npos || ends_with(spec, ".bact") ||
+         ends_with(spec, ".csv") || ends_with(spec, ".txt") ||
+         ends_with(spec, ".trace");
+}
+
+/// "zipf0.9" -> 0.9; "zipf" -> 0.9; anything else unparsable throws.
+double zipf_alpha(const std::string& spec) {
+  if (spec == "zipf") return 0.9;
+  const std::string digits = spec.substr(4);
+  char* end = nullptr;
+  errno = 0;
+  const double alpha = std::strtod(digits.c_str(), &end);
+  if (errno != 0 || end != digits.c_str() + digits.size() || alpha < 0)
+    throw std::invalid_argument("sweep: bad zipf spec '" + spec + "'");
+  return alpha;
+}
+
+/// Presents an inner streaming source under a different cache size, so
+/// one trace file sweeps across k without rewriting its header.
+class KOverride final : public RequestSource {
+ public:
+  KOverride(std::unique_ptr<RequestSource> inner, int k)
+      : inner_(std::move(inner)),
+        header_{inner_->context().blocks, {}, k} {
+    header_.validate();  // beta <= k must still hold under the override
+  }
+
+  [[nodiscard]] const Instance& context() const override { return header_; }
+  [[nodiscard]] long long horizon_hint() const override {
+    return inner_->horizon_hint();
+  }
+  bool next(PageId& p) override { return inner_->next(p); }
+  void rewind() override { inner_->rewind(); }
+
+ private:
+  std::unique_ptr<RequestSource> inner_;
+  Instance header_;
+};
+
+/// Zipf is only well-defined over a spec beginning with "zipf"; keep the
+/// dispatch table in one place for specs and error messages.
+std::unique_ptr<RequestSource> make_synthetic(const std::string& spec,
+                                              const SweepConfig& c, int k) {
+  const int n = c.n;
+  const int beta = c.beta;
+  const long long T = c.T;
+  if (spec.rfind("zipf", 0) == 0)
+    return SyntheticSource::zipf(n, beta, k, T, zipf_alpha(spec), c.seed);
+  if (spec == "uniform")
+    return SyntheticSource::uniform(n, beta, k, T, c.seed);
+  if (spec == "scan") return SyntheticSource::scan(n, beta, k, T);
+  if (spec == "blocklocal")
+    return SyntheticSource::block_local(n, beta, k, T, 0.75, 0.9, c.seed);
+  if (spec == "phased")
+    return SyntheticSource::phased(n, beta, k, T, std::max<long long>(1, T / 10),
+                                   k + beta, c.seed);
+  throw std::invalid_argument(
+      "sweep: unknown workload '" + spec +
+      "' (expected zipf[a], uniform, scan, blocklocal, phased, or a "
+      ".bact/.csv/text trace path)");
+}
+
+/// Process-wide CSV mapping cache: pass 1 runs once per (file, inference
+/// options) pair, then every cell shares the read-only mapping. The key
+/// includes every option that shapes the mapping, so sweeps with
+/// different block inference never reuse a stale structure.
+std::shared_ptr<const CsvMapping> csv_mapping_for(const std::string& path,
+                                                  const SweepConfig& c,
+                                                  int k) {
+  static std::mutex mutex;
+  static std::unordered_map<std::string, std::shared_ptr<const CsvMapping>>
+      cache;
+  const std::string key =
+      path + "\x1f" + std::to_string(c.csv_block_pages);
+  std::lock_guard lock(mutex);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  CsvOptions options;
+  options.block_pages = c.csv_block_pages;
+  options.k = k;
+  auto mapping = std::make_shared<const CsvMapping>(
+      build_csv_mapping(path, options));
+  cache.emplace(key, mapping);
+  return mapping;
+}
+
+}  // namespace
+
+std::unique_ptr<RequestSource> make_workload_source(
+    const std::string& spec, const SweepConfig& config, int k) {
+  if (!is_file_spec(spec)) return make_synthetic(spec, config, k);
+  std::unique_ptr<RequestSource> inner;
+  if (ends_with(spec, ".bact")) {
+    inner = std::make_unique<BactSource>(spec);
+  } else if (ends_with(spec, ".csv")) {
+    CsvOptions options;
+    options.block_pages = config.csv_block_pages;
+    options.k = k;
+    inner = std::make_unique<CsvSource>(
+        spec, csv_mapping_for(spec, config, k), options);
+  } else {
+    inner = std::make_unique<TextTraceSource>(spec);
+  }
+  return std::make_unique<KOverride>(std::move(inner), k);
+}
+
+SweepTotals run_sweep(const SweepConfig& config, const RecordSink& sink) {
+  if (config.policies.empty())
+    throw std::invalid_argument("sweep: no policies selected");
+  if (config.workloads.empty())
+    throw std::invalid_argument("sweep: no workloads selected");
+  if (config.ks.empty())
+    throw std::invalid_argument("sweep: no cache sizes selected");
+
+  // Resolve policy names upfront so typos fail before any work runs.
+  for (const std::string& name : config.policies) (void)make_policy(name);
+
+  struct Cell {
+    std::string policy;
+    std::string workload;
+    int k;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(config.policies.size() * config.workloads.size() *
+                config.ks.size());
+  for (const std::string& w : config.workloads)
+    for (const std::string& p : config.policies)
+      for (const int k : config.ks) cells.push_back({p, w, k});
+
+  std::mutex totals_mutex;
+  SweepTotals totals;
+  totals.cells = static_cast<long long>(cells.size());
+
+  Stopwatch sweep_clock;
+  global_pool().parallel_for_indexed(cells.size(), [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    auto policy = make_policy(cell.policy);
+    const bool monte_carlo = policy->randomized() && config.trials > 1;
+
+    SweepRecord record;
+    record.policy = cell.policy;
+    record.policy_display = policy->name();
+    record.workload = cell.workload;
+    record.k = cell.k;
+    record.trials = monte_carlo ? config.trials : 1;
+
+    Stopwatch cell_clock;
+    if (monte_carlo) {
+      auto source = make_workload_source(cell.workload, config, cell.k);
+      const Instance& ctx = source->context();
+      record.n = ctx.n_pages();
+      record.m = ctx.blocks.n_blocks();
+      record.beta = ctx.blocks.beta();
+      const MonteCarloResult mc = simulate_mc(
+          [&] { return make_workload_source(cell.workload, config, cell.k); },
+          [&] { return make_policy(cell.policy); }, config.trials,
+          config.seed);
+      record.eviction_cost = mc.mean_eviction_cost;
+      record.fetch_cost = mc.mean_fetch_cost;
+      record.cost = mc.mean_total_cost;
+      record.stddev_cost = mc.stddev_total_cost;
+      record.requests = mc.total_requests;
+    } else {
+      auto source = make_workload_source(cell.workload, config, cell.k);
+      const Instance& ctx = source->context();
+      record.n = ctx.n_pages();
+      record.m = ctx.blocks.n_blocks();
+      record.beta = ctx.blocks.beta();
+      SimOptions options;
+      options.seed = config.seed;
+      if (config.mrc) options.mrc_ks = config.ks;
+      const RunResult r = simulate(*source, *policy, options);
+      record.requests = r.requests;
+      record.misses = r.misses;
+      record.eviction_cost = r.eviction_cost;
+      record.fetch_cost = r.fetch_cost;
+      record.cost = r.eviction_cost + r.fetch_cost;
+      record.step_cost_p50 = r.step_cost_p50;
+      record.step_cost_p90 = r.step_cost_p90;
+      record.step_cost_p99 = r.step_cost_p99;
+      record.step_cost_max = r.step_cost_max;
+      record.miss_curve = r.miss_curve;
+    }
+    record.wall_ms = cell_clock.millis();
+    record.rps = record.wall_ms > 0
+                     ? static_cast<double>(record.requests) /
+                           (record.wall_ms / 1000.0)
+                     : 0.0;
+    {
+      std::lock_guard lock(totals_mutex);
+      totals.requests += record.requests;
+    }
+    if (sink) sink(record);
+  });
+
+  totals.wall_ms = sweep_clock.millis();
+  totals.rps = totals.wall_ms > 0 ? static_cast<double>(totals.requests) /
+                                        (totals.wall_ms / 1000.0)
+                                  : 0.0;
+  return totals;
+}
+
+}  // namespace bac::driver

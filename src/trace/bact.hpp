@@ -1,0 +1,91 @@
+// The .bact compact binary trace format, and its streaming reader/writer.
+//
+// Layout (all integers LEB128 varints, little-endian byte order):
+//
+//   magic      6 bytes        "BACT1\n"
+//   n_pages    varint
+//   k          varint
+//   n_blocks   varint
+//   costs      n_blocks x 8 bytes   IEEE-754 double bit patterns (LE)
+//   page_map   n_pages  x varint    block id of each page
+//   declared_T varint               request count, 0 when unknown upfront
+//   requests   varint per request   page id + 1 (so 0 is free)
+//   sentinel   varint 0             end-of-stream marker
+//
+// Requests are terminated by the sentinel rather than counted, so a
+// BactWriter can stream a trace of unknown length (e.g. converting a CSV
+// feed) with one pass and O(1) memory; declared_T is an optional hint the
+// reader uses for reserve() sizing and cross-checks when present. A
+// 10M-request trace replays through BactSource with peak memory
+// proportional to the page universe, never the trace length.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/request_source.hpp"
+
+namespace bac {
+
+/// Streaming writer: header at construction, then requests one at a time.
+class BactWriter {
+ public:
+  /// `declared_T` = 0 when the request count is unknown upfront.
+  BactWriter(std::ostream& os, const BlockMap& blocks, int k,
+             long long declared_T = 0);
+
+  void add(PageId p);
+  /// Write the end-of-stream sentinel; further add() calls throw. Called
+  /// by the destructor if not invoked explicitly (errors swallowed there —
+  /// call finish() to observe them).
+  void finish();
+  ~BactWriter();
+
+  BactWriter(const BactWriter&) = delete;
+  BactWriter& operator=(const BactWriter&) = delete;
+
+  [[nodiscard]] long long written() const noexcept { return written_; }
+
+ private:
+  std::ostream* os_;
+  int n_pages_;
+  long long declared_T_;
+  long long written_ = 0;
+  bool finished_ = false;
+};
+
+/// Serialize a whole instance (declared_T filled in).
+void save_bact(const Instance& inst, std::ostream& os);
+void save_bact(const Instance& inst, const std::string& path);
+
+/// Materialize a .bact file into an Instance (small traces / tests).
+Instance load_bact(const std::string& path);
+
+/// Streaming source over a .bact file; one buffered file handle, O(1)
+/// request memory. rewind() seeks back to the first request.
+class BactSource final : public RequestSource {
+ public:
+  explicit BactSource(const std::string& path);
+
+  [[nodiscard]] const Instance& context() const override { return header_; }
+  [[nodiscard]] long long horizon_hint() const override {
+    return declared_T_ > 0 ? declared_T_ : -1;
+  }
+  bool next(PageId& p) override;
+  void rewind() override;
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  long long declared_T_ = 0;  ///< written by header_'s initializer; keep first
+  Instance header_;           ///< blocks + k, empty requests
+  std::streampos first_request_;
+  long long yielded_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace bac

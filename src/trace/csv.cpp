@@ -1,0 +1,209 @@
+#include "trace/csv.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+namespace bac {
+
+namespace {
+
+/// Split `line` on the delimiter into at most the columns we care about.
+/// Returns false (skip row) when the timestamp column is not numeric —
+/// that covers headers, comments, and ragged lines in one rule.
+struct Row {
+  std::string key;
+  double size = 1.0;
+};
+
+bool numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  std::strtod(s.c_str(), &end);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+bool parse_row(const std::string& line, const CsvOptions& opt, Row& row) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t pos = line.find(opt.delimiter, start);
+    const std::size_t end = pos == std::string::npos ? line.size() : pos;
+    fields.emplace_back(line.substr(start, end - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  // Only timestamp and key are required; the size column is optional
+  // (two-column timestamp,key traces are valid, size defaults to 1).
+  const auto need =
+      static_cast<std::size_t>(std::max(opt.time_col, opt.key_col));
+  if (fields.size() <= need) return false;
+  if (!numeric(fields[static_cast<std::size_t>(opt.time_col)])) return false;
+  row.key = fields[static_cast<std::size_t>(opt.key_col)];
+  if (row.key.empty()) return false;
+  row.size = 1.0;
+  if (opt.size_col >= 0 &&
+      static_cast<std::size_t>(opt.size_col) < fields.size()) {
+    const std::string& s = fields[static_cast<std::size_t>(opt.size_col)];
+    if (numeric(s)) row.size = std::strtod(s.c_str(), nullptr);
+  }
+  return true;
+}
+
+bool parse_unsigned(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+void check_options(const CsvOptions& opt) {
+  if (opt.block_pages <= 0)
+    throw std::invalid_argument("csv: block_pages must be positive");
+  if (opt.k <= 0)
+    throw std::invalid_argument("csv: options.k (cache size) must be set");
+  if (opt.time_col < 0 || opt.key_col < 0)
+    throw std::invalid_argument("csv: negative column index");
+}
+
+}  // namespace
+
+CsvMapping build_csv_mapping(const std::string& path,
+                             const CsvOptions& options) {
+  check_options(options);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open " + path);
+
+  // First-appearance page ids; per-page key value and size statistics.
+  std::unordered_map<std::string, PageId> key_to_page;
+  std::vector<std::uint64_t> key_values;  // numeric value per page
+  std::vector<double> size_sum;
+  std::vector<long long> size_count;
+  bool all_numeric = true;
+  long long rows = 0;
+
+  std::string line;
+  Row row;
+  while (std::getline(in, line)) {
+    if (!parse_row(line, options, row)) continue;
+    ++rows;
+    const auto [it, inserted] =
+        key_to_page.try_emplace(row.key,
+                                static_cast<PageId>(key_to_page.size()));
+    if (inserted) {
+      std::uint64_t v = 0;
+      if (all_numeric && parse_unsigned(row.key, v)) {
+        key_values.push_back(v);
+      } else {
+        all_numeric = false;
+      }
+      size_sum.push_back(0.0);
+      size_count.push_back(0);
+    }
+    const auto p = static_cast<std::size_t>(it->second);
+    size_sum[p] += row.size;
+    ++size_count[p];
+  }
+  if (in.bad()) throw std::runtime_error("csv: read error on " + path);
+  if (rows == 0)
+    throw std::runtime_error("csv: no data rows in " + path +
+                             " (expected timestamp" +
+                             std::string(1, options.delimiter) + "key" +
+                             std::string(1, options.delimiter) + "size)");
+
+  const auto n = static_cast<int>(key_to_page.size());
+  std::vector<BlockId> page_to_block(static_cast<std::size_t>(n));
+  int n_blocks;
+  if (all_numeric) {
+    // Extent grouping: keys in the same aligned span share a block.
+    const auto span = static_cast<std::uint64_t>(options.block_pages);
+    std::map<std::uint64_t, BlockId> extent_ids;  // ordered for determinism
+    for (const std::uint64_t v : key_values) extent_ids[v / span] = 0;
+    BlockId next = 0;
+    for (auto& [extent, id] : extent_ids) id = next++;
+    for (std::size_t p = 0; p < key_values.size(); ++p)
+      page_to_block[p] = extent_ids[key_values[p] / span];
+    n_blocks = static_cast<int>(extent_ids.size());
+  } else {
+    // Arrival grouping: consecutive first-seen keys share a block.
+    for (int p = 0; p < n; ++p)
+      page_to_block[static_cast<std::size_t>(p)] = p / options.block_pages;
+    n_blocks = (n + options.block_pages - 1) / options.block_pages;
+  }
+
+  std::vector<Cost> costs(static_cast<std::size_t>(n_blocks), 1.0);
+  if (options.cost_from_size) {
+    std::vector<double> block_sum(static_cast<std::size_t>(n_blocks), 0.0);
+    std::vector<long long> block_cnt(static_cast<std::size_t>(n_blocks), 0);
+    for (int p = 0; p < n; ++p) {
+      const auto b = static_cast<std::size_t>(
+          page_to_block[static_cast<std::size_t>(p)]);
+      block_sum[b] += size_sum[static_cast<std::size_t>(p)];
+      block_cnt[b] += size_count[static_cast<std::size_t>(p)];
+    }
+    for (std::size_t b = 0; b < costs.size(); ++b)
+      if (block_cnt[b] > 0)
+        costs[b] = std::max(
+            1.0, block_sum[b] / static_cast<double>(block_cnt[b]) /
+                     options.page_bytes);
+  }
+
+  CsvMapping mapping{BlockMap(std::move(page_to_block), std::move(costs)),
+                     options.k, std::move(key_to_page), rows, all_numeric};
+  // The inferred structure must itself be a valid instance (beta <= k).
+  mapping.header().validate();
+  return mapping;
+}
+
+CsvSource::CsvSource(const std::string& path,
+                     std::shared_ptr<const CsvMapping> map,
+                     CsvOptions options)
+    : path_(path),
+      map_(std::move(map)),
+      options_(options),
+      in_(path),
+      header_(map_->header()) {
+  if (!in_) throw std::runtime_error("csv: cannot open " + path);
+}
+
+bool CsvSource::next(PageId& p) {
+  Row row;
+  while (std::getline(in_, line_)) {
+    if (!parse_row(line_, options_, row)) continue;
+    const auto it = map_->key_to_page.find(row.key);
+    if (it == map_->key_to_page.end())
+      throw std::runtime_error("csv: key '" + row.key + "' in " + path_ +
+                               " absent from the mapping (file changed "
+                               "between passes?)");
+    p = it->second;
+    return true;
+  }
+  if (in_.bad()) throw std::runtime_error("csv: read error on " + path_);
+  return false;
+}
+
+void CsvSource::rewind() {
+  in_.clear();
+  in_.seekg(0);
+  if (!in_) throw std::runtime_error("csv: rewind failed on " + path_);
+}
+
+Instance load_csv_trace(const std::string& path, const CsvOptions& options) {
+  auto map = std::make_shared<const CsvMapping>(
+      build_csv_mapping(path, options));
+  CsvSource src(path, map, options);
+  Instance inst = src.context();
+  inst.requests.reserve(static_cast<std::size_t>(map->rows));
+  PageId p;
+  while (src.next(p)) inst.requests.push_back(p);
+  inst.validate();
+  return inst;
+}
+
+}  // namespace bac

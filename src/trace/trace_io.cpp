@@ -1,6 +1,7 @@
 #include "trace/trace_io.hpp"
 
-#include <fstream>
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -8,6 +9,8 @@
 namespace bac {
 
 void save_instance(const Instance& inst, std::ostream& os) {
+  // 17 significant digits round-trips doubles exactly (block costs).
+  const auto old_precision = os.precision(17);
   os << "blockcache-instance v1\n";
   os << "n " << inst.n_pages() << " k " << inst.k << "\n";
   os << "blocks " << inst.blocks.n_blocks() << "\n";
@@ -22,6 +25,7 @@ void save_instance(const Instance& inst, std::ostream& os) {
     os << (((i + 1) % 32 == 0) ? '\n' : ' ');
   }
   os << "\n";
+  os.precision(old_precision);
 }
 
 void save_instance(const Instance& inst, const std::string& path) {
@@ -31,7 +35,13 @@ void save_instance(const Instance& inst, const std::string& path) {
 }
 
 namespace {
-std::string next_token(std::istream& is) {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("load_instance: " + what);
+}
+
+/// Next non-comment token, or empty at end of input.
+std::string try_token(std::istream& is) {
   std::string tok;
   while (is >> tok) {
     if (tok[0] == '#') {
@@ -41,66 +51,141 @@ std::string next_token(std::istream& is) {
     }
     return tok;
   }
-  throw std::runtime_error("load_instance: unexpected end of input");
+  return {};
 }
 
-long long next_int(std::istream& is) { return std::stoll(next_token(is)); }
-double next_double(std::istream& is) { return std::stod(next_token(is)); }
+std::string next_token(std::istream& is, const char* what) {
+  std::string tok = try_token(is);
+  if (tok.empty())
+    fail(std::string("truncated input: expected ") + what +
+         ", got end of file");
+  return tok;
+}
+
+long long parse_int(const std::string& tok, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size())
+    fail(std::string("expected an integer for ") + what + ", got '" + tok +
+         "'");
+  return v;
+}
+
+long long next_int(std::istream& is, const char* what) {
+  return parse_int(next_token(is, what), what);
+}
+
+double next_double(std::istream& is, const char* what) {
+  const std::string tok = next_token(is, what);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (errno != 0 || end != tok.c_str() + tok.size())
+    fail(std::string("expected a number for ") + what + ", got '" + tok +
+         "'");
+  return v;
+}
 
 void expect(std::istream& is, const std::string& want) {
-  const std::string got = next_token(is);
+  const std::string got = next_token(is, want.c_str());
   if (got != want)
-    throw std::runtime_error("load_instance: expected '" + want + "', got '" +
-                             got + "'");
+    fail("expected '" + want + "', got '" + got +
+         (want == "blockcache-instance"
+              ? "' (missing or wrong format header)"
+              : "'"));
 }
-}  // namespace
 
-Instance load_instance(std::istream& is) {
+/// Parse everything through `requests <T>`; leaves the stream at the
+/// first request token. Returns the header instance (empty requests).
+Instance read_text_header(std::istream& is, long long& T) {
   expect(is, "blockcache-instance");
   expect(is, "v1");
   expect(is, "n");
-  const int n = static_cast<int>(next_int(is));
+  const long long n = next_int(is, "n_pages");
   expect(is, "k");
-  const int k = static_cast<int>(next_int(is));
+  const long long k = next_int(is, "k");
   expect(is, "blocks");
-  const int n_blocks = static_cast<int>(next_int(is));
+  const long long n_blocks = next_int(is, "block count");
+  if (n <= 0) fail("n_pages must be positive, got " + std::to_string(n));
+  if (k <= 0) fail("k must be positive, got " + std::to_string(k));
+  if (n_blocks <= 0)
+    fail("block count must be positive, got " + std::to_string(n_blocks));
 
   std::vector<BlockId> page_to_block(static_cast<std::size_t>(n), -1);
   std::vector<Cost> costs(static_cast<std::size_t>(n_blocks), 1.0);
-  for (int i = 0; i < n_blocks; ++i) {
+  for (long long i = 0; i < n_blocks; ++i) {
     expect(is, "block");
-    const auto b = static_cast<BlockId>(next_int(is));
+    const long long b = next_int(is, "block id");
     if (b < 0 || b >= n_blocks)
-      throw std::runtime_error("load_instance: bad block id");
-    costs[static_cast<std::size_t>(b)] = next_double(is);
-    // Pages until the next keyword; we rely on counting: pages are read
-    // until the declared universe is exhausted for this block — instead,
-    // read tokens and stop at "block"/"requests" via peeking is clumsy, so
-    // the format requires page counts to be derivable: read until the next
-    // token is non-numeric. Keep it simple: read tokens; put back via
-    // buffer.
-    std::string tok;
-    while (is >> tok) {
+      fail("block id " + std::to_string(b) + " outside [0, " +
+           std::to_string(n_blocks) + ")");
+    costs[static_cast<std::size_t>(b)] = next_double(is, "block cost");
+    if (!(costs[static_cast<std::size_t>(b)] > 0))
+      fail("block " + std::to_string(b) + " has non-positive cost");
+    // Pages until the next keyword ("block" or "requests").
+    for (;;) {
+      std::string tok = try_token(is);
+      if (tok.empty())
+        fail("truncated input inside block " + std::to_string(b) +
+             " (no 'requests' section)");
       if (tok == "block" || tok == "requests") {
-        // push back
-        for (auto it = tok.rbegin(); it != tok.rend(); ++it) is.putback(*it);
+        for (auto it = tok.rbegin(); it != tok.rend(); ++it)
+          is.putback(*it);
         break;
       }
-      const auto p = static_cast<PageId>(std::stoll(tok));
-      if (p < 0 || p >= n) throw std::runtime_error("load_instance: bad page");
-      page_to_block[static_cast<std::size_t>(p)] = b;
+      const long long p = parse_int(tok, "page id");
+      if (p < 0 || p >= n)
+        fail("page id " + std::to_string(p) + " outside [0, " +
+             std::to_string(n) + ") in block " + std::to_string(b));
+      auto& assigned = page_to_block[static_cast<std::size_t>(p)];
+      if (assigned >= 0 && assigned != b)
+        fail("page " + std::to_string(p) + " assigned to blocks " +
+             std::to_string(assigned) + " and " + std::to_string(b));
+      assigned = static_cast<BlockId>(b);
     }
   }
-  for (BlockId b : page_to_block)
-    if (b < 0) throw std::runtime_error("load_instance: unassigned page");
+  for (long long p = 0; p < n; ++p)
+    if (page_to_block[static_cast<std::size_t>(p)] < 0)
+      fail("page " + std::to_string(p) + " not assigned to any block");
 
   expect(is, "requests");
-  const auto T = static_cast<std::size_t>(next_int(is));
-  std::vector<PageId> req(T);
-  for (auto& p : req) p = static_cast<PageId>(next_int(is));
+  T = next_int(is, "request count");
+  if (T < 0) fail("negative request count " + std::to_string(T));
 
-  Instance inst{BlockMap(std::move(page_to_block), std::move(costs)),
-                std::move(req), k};
+  Instance header{BlockMap(std::move(page_to_block), std::move(costs)),
+                  {},
+                  static_cast<int>(k)};
+  header.validate();
+  return header;
+}
+
+PageId read_request(std::istream& is, long long index, long long T, int n) {
+  const std::string tok = try_token(is);
+  if (tok.empty())
+    fail("truncated request section: got " + std::to_string(index) +
+         " of " + std::to_string(T) + " requests");
+  const long long p = parse_int(tok, "request page id");
+  if (p < 0 || p >= n)
+    fail("request " + std::to_string(index + 1) + " addresses page " +
+         std::to_string(p) + " outside [0, " + std::to_string(n) + ")");
+  return static_cast<PageId>(p);
+}
+
+Instance open_text_header(std::ifstream& in, const std::string& path,
+                          long long& T) {
+  if (!in) throw std::runtime_error("load_instance: cannot open " + path);
+  return read_text_header(in, T);
+}
+
+}  // namespace
+
+Instance load_instance(std::istream& is) {
+  long long T = 0;
+  Instance inst = read_text_header(is, T);
+  inst.requests.reserve(static_cast<std::size_t>(T));
+  for (long long i = 0; i < T; ++i)
+    inst.requests.push_back(read_request(is, i, T, inst.n_pages()));
   inst.validate();
   return inst;
 }
@@ -109,6 +194,26 @@ Instance load_instance(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_instance: cannot open " + path);
   return load_instance(in);
+}
+
+TextTraceSource::TextTraceSource(const std::string& path)
+    : path_(path), in_(path), header_(open_text_header(in_, path, T_)) {
+  first_request_ = in_.tellg();
+}
+
+bool TextTraceSource::next(PageId& p) {
+  if (yielded_ >= T_) return false;
+  p = read_request(in_, yielded_, T_, header_.n_pages());
+  ++yielded_;
+  return true;
+}
+
+void TextTraceSource::rewind() {
+  in_.clear();
+  in_.seekg(first_request_);
+  if (!in_)
+    throw std::runtime_error("load_instance: rewind failed on " + path_);
+  yielded_ = 0;
 }
 
 }  // namespace bac

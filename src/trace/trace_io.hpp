@@ -8,12 +8,19 @@
 //   block <id> <cost> <page> <page> ...      (one line per block)
 //   requests <T>
 //   <page> <page> ...                        (whitespace separated)
+//
+// Malformed input (missing/wrong header, non-numeric tokens, out-of-range
+// ids, truncation) throws std::runtime_error with a message naming the
+// offending element. TextTraceSource streams the request section without
+// materializing it; load_instance materializes the whole file.
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
 #include <string>
 
 #include "core/instance.hpp"
+#include "core/request_source.hpp"
 
 namespace bac {
 
@@ -22,5 +29,26 @@ void save_instance(const Instance& inst, const std::string& path);
 
 Instance load_instance(std::istream& is);
 Instance load_instance(const std::string& path);
+
+/// Streaming source over a v1 text trace file: the header (block
+/// structure, k, request count) is parsed eagerly; requests are decoded
+/// token by token, so memory stays independent of the trace length.
+class TextTraceSource final : public RequestSource {
+ public:
+  explicit TextTraceSource(const std::string& path);
+
+  [[nodiscard]] const Instance& context() const override { return header_; }
+  [[nodiscard]] long long horizon_hint() const override { return T_; }
+  bool next(PageId& p) override;
+  void rewind() override;
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  long long T_ = 0;           ///< written by header_'s initializer; keep first
+  Instance header_;           ///< blocks + k, empty requests
+  std::streampos first_request_;
+  long long yielded_ = 0;
+};
 
 }  // namespace bac

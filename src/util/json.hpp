@@ -1,0 +1,16 @@
+// Minimal JSON emission helpers shared by the bench harness and the
+// bacsim sweep driver, so every tool writes byte-compatible records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace bac {
+
+/// Emit `s` as a JSON string literal (quotes, escapes, control chars).
+void write_json_string(std::ostream& os, const std::string& s);
+
+/// Emit a double; values JSON cannot represent (inf/nan) become null.
+void write_json_number(std::ostream& os, double x);
+
+}  // namespace bac

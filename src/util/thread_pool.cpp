@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 namespace bac {
@@ -36,6 +37,18 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::parallel_for_indexed(
     std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
@@ -60,7 +73,18 @@ void ThreadPool::parallel_for_indexed(
   std::vector<std::future<void>> futs;
   futs.reserve(n_tasks);
   for (std::size_t t = 0; t < n_tasks; ++t) futs.push_back(submit(body));
-  for (auto& f : futs) f.get();
+  // Join the work from this thread, then drain queued tasks while waiting:
+  // if every worker is itself blocked in a nested parallel_for_indexed,
+  // progress still comes from the waiters running the queue.
+  body();
+  for (auto& f : futs) {
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!try_run_one())
+        f.wait_for(std::chrono::milliseconds(1));
+    }
+    f.get();
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

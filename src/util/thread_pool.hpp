@@ -43,9 +43,15 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, count) across the pool; rethrows the first
-  /// task exception after all tasks finish.
+  /// task exception after all tasks finish. The calling thread joins the
+  /// work and drains queued tasks while it waits, so nesting (a pool task
+  /// that itself calls parallel_for_indexed — e.g. a sweep cell running a
+  /// parallel Monte-Carlo) cannot deadlock the pool.
   void parallel_for_indexed(std::size_t count,
                             const std::function<void(std::size_t)>& fn);
+
+  /// Run one queued task on the calling thread if any is pending.
+  bool try_run_one();
 
  private:
   void worker_loop();

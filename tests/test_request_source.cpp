@@ -1,0 +1,224 @@
+// Streaming request sources: generator adapters must reproduce the
+// materialized generator vectors exactly, the streaming simulate() core
+// must match the Instance path bit for bit, and the online aggregates
+// (P^2 sketches, miss-ratio curve) must agree with their offline
+// counterparts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algs/classical/classical.hpp"
+#include "core/mrc.hpp"
+#include "core/request_source.hpp"
+#include "core/simulator.hpp"
+#include "trace/generators.hpp"
+#include "trace/stats.hpp"
+#include "util/stats.hpp"
+
+namespace bac {
+namespace {
+
+std::vector<PageId> drain(RequestSource& src) {
+  std::vector<PageId> out;
+  PageId p;
+  while (src.next(p)) out.push_back(p);
+  return out;
+}
+
+TEST(SyntheticSource, MatchesUniformGenerator) {
+  const std::uint64_t seed = 42;
+  const auto expect = uniform_trace(32, 500, Xoshiro256pp(seed));
+  auto src = SyntheticSource::uniform(32, 4, 8, 500, seed);
+  EXPECT_EQ(drain(*src), expect);
+}
+
+TEST(SyntheticSource, MatchesZipfGenerator) {
+  const std::uint64_t seed = 7;
+  const auto expect = zipf_trace(64, 800, 0.9, Xoshiro256pp(seed));
+  auto src = SyntheticSource::zipf(64, 8, 16, 800, 0.9, seed);
+  EXPECT_EQ(drain(*src), expect);
+}
+
+TEST(SyntheticSource, MatchesScanGenerator) {
+  const auto expect = scan_trace(10, 95);
+  auto src = SyntheticSource::scan(10, 2, 4, 95);
+  EXPECT_EQ(drain(*src), expect);
+}
+
+TEST(SyntheticSource, MatchesPhasedGenerator) {
+  const std::uint64_t seed = 99;
+  const auto expect = phased_trace(40, 600, 60, 12, Xoshiro256pp(seed));
+  auto src = SyntheticSource::phased(40, 4, 12, 600, 60, 12, seed);
+  EXPECT_EQ(drain(*src), expect);
+}
+
+TEST(SyntheticSource, MatchesBlockLocalGenerator) {
+  const std::uint64_t seed = 5;
+  const BlockMap blocks = BlockMap::contiguous(48, 6);
+  const auto expect = block_local_trace(blocks, 700, 0.75, 0.9,
+                                        Xoshiro256pp(seed));
+  auto src = SyntheticSource::block_local(48, 6, 12, 700, 0.75, 0.9, seed);
+  EXPECT_EQ(drain(*src), expect);
+}
+
+TEST(SyntheticSource, RewindReplaysIdentically) {
+  auto src = SyntheticSource::zipf(32, 4, 8, 300, 1.1, 13);
+  const auto first = drain(*src);
+  src->rewind();
+  const auto second = drain(*src);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 300u);
+}
+
+TEST(InstanceSource, StreamsAndRewinds) {
+  const Instance inst = make_instance(8, 2, 4, {0, 3, 5, 3, 7});
+  InstanceSource src(inst);
+  EXPECT_TRUE(src.materialized());
+  EXPECT_EQ(src.horizon_hint(), 5);
+  EXPECT_EQ(drain(src), inst.requests);
+  src.rewind();
+  EXPECT_EQ(drain(src), inst.requests);
+}
+
+bool same_run(const RunResult& a, const RunResult& b) {
+  return a.eviction_cost == b.eviction_cost && a.fetch_cost == b.fetch_cost &&
+         a.classic_eviction_cost == b.classic_eviction_cost &&
+         a.classic_fetch_cost == b.classic_fetch_cost &&
+         a.evict_block_events == b.evict_block_events &&
+         a.fetch_block_events == b.fetch_block_events &&
+         a.evicted_pages == b.evicted_pages &&
+         a.fetched_pages == b.fetched_pages && a.misses == b.misses &&
+         a.requests == b.requests && a.violations == b.violations;
+}
+
+TEST(StreamingSimulate, MatchesMaterializedPathBitForBit) {
+  const std::uint64_t seed = 3;
+  const Instance inst =
+      make_instance(64, 8, 16, zipf_trace(64, 2000, 0.9, Xoshiro256pp(seed)));
+  auto src = SyntheticSource::zipf(64, 8, 16, 2000, 0.9, seed);
+
+  LruPolicy lru_a, lru_b;
+  const RunResult a = simulate(inst, lru_a);
+  const RunResult b = simulate(*src, lru_b);
+  EXPECT_TRUE(same_run(a, b));
+  EXPECT_EQ(b.requests, 2000);
+
+  src->rewind();
+  BlockLruPolicy block_a(false), block_b(false);
+  EXPECT_TRUE(same_run(simulate(inst, block_a), simulate(*src, block_b)));
+}
+
+TEST(StreamingSimulate, RejectsOfflinePoliciesOnStreams) {
+  auto src = SyntheticSource::scan(16, 2, 8, 100);
+  BeladyPolicy belady;
+  EXPECT_THROW(simulate(*src, belady), std::invalid_argument);
+  // Materialized sources still welcome them.
+  const Instance inst = make_instance(16, 2, 8, scan_trace(16, 100));
+  EXPECT_NO_THROW(simulate(inst, belady));
+}
+
+TEST(StreamingSimulate, SketchTracksStepCosts) {
+  const Instance inst = make_instance(32, 4, 8, scan_trace(32, 1500));
+  LruPolicy lru;
+  SimOptions options;
+  options.record_steps = true;
+  const RunResult r = simulate(inst, lru, options);
+
+  std::vector<double> step_totals;
+  double exact_max = 0;
+  for (std::size_t i = 0; i < r.step_eviction_cost.size(); ++i) {
+    const double total = r.step_eviction_cost[i] + r.step_fetch_cost[i];
+    step_totals.push_back(total);
+    exact_max = std::max(exact_max, total);
+  }
+  EXPECT_DOUBLE_EQ(r.step_cost_max, exact_max);
+  // P^2 is approximate; the scan workload's step costs are near-constant,
+  // so estimates must land close to the exact quantiles.
+  EXPECT_NEAR(r.step_cost_p50, quantile(step_totals, 0.50), 0.5);
+  EXPECT_NEAR(r.step_cost_p99, quantile(step_totals, 0.99), 0.5);
+}
+
+TEST(MissRatioCurve, MatchesOfflineStackDistances) {
+  Xoshiro256pp rng(11);
+  const Instance inst =
+      make_instance(24, 3, 6, zipf_trace(24, 3000, 0.8, rng));
+  const TraceStats stats = analyze_trace(inst);
+
+  MissRatioCurve curve(inst.n_pages());
+  for (PageId p : inst.requests) curve.add(p);
+  for (const int k : {1, 2, 4, 8, 16, 24}) {
+    EXPECT_NEAR(curve.miss_ratio(k), 1.0 - stats.lru_hit_rate(k), 1e-12)
+        << "k=" << k;
+  }
+  EXPECT_EQ(curve.requests(), 3000);
+  EXPECT_EQ(curve.compulsory_misses(), stats.distinct_pages);
+}
+
+TEST(MissRatioCurve, SurvivesPositionCompaction) {
+  // n=8 gives a Fenwick capacity of 64 slots; 5000 requests force many
+  // compactions. Cross-check against a brute-force LRU stack.
+  const int n = 8;
+  Xoshiro256pp rng(21);
+  std::vector<PageId> requests;
+  for (int i = 0; i < 5000; ++i)
+    requests.push_back(static_cast<PageId>(rng.below(n)));
+
+  MissRatioCurve curve(n);
+  std::vector<PageId> stack;  // most recent first
+  long long brute_hits_k3 = 0;
+  for (PageId p : requests) {
+    const auto it = std::find(stack.begin(), stack.end(), p);
+    if (it != stack.end() && it - stack.begin() < 3) ++brute_hits_k3;
+    if (it != stack.end()) stack.erase(it);
+    stack.insert(stack.begin(), p);
+    curve.add(p);
+  }
+  const double brute_miss =
+      1.0 - static_cast<double>(brute_hits_k3) / 5000.0;
+  EXPECT_NEAR(curve.miss_ratio(3), brute_miss, 1e-12);
+}
+
+TEST(MissRatioCurve, MatchesSimulatedLruMisses) {
+  const std::uint64_t seed = 17;
+  const int n = 40, beta = 4, T = 2500;
+  for (const int k : {4, 8, 16}) {
+    const Instance inst = make_instance(
+        n, beta, k, zipf_trace(n, T, 1.0, Xoshiro256pp(seed)));
+    LruPolicy lru;
+    SimOptions options;
+    options.mrc_ks = {k};
+    const RunResult r = simulate(inst, lru, options);
+    ASSERT_EQ(r.miss_curve.size(), 1u);
+    EXPECT_EQ(r.miss_curve[0].first, k);
+    EXPECT_NEAR(r.miss_curve[0].second,
+                static_cast<double>(r.misses) / static_cast<double>(T), 1e-12)
+        << "LRU misses must equal the curve at its own k";
+  }
+}
+
+TEST(P2Quantile, TracksExactQuantilesOnRandomData) {
+  Xoshiro256pp rng(33);
+  P2Quantile p50(0.5), p90(0.9);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    xs.push_back(x);
+    p50.add(x);
+    p90.add(x);
+  }
+  EXPECT_NEAR(p50.value(), quantile(xs, 0.5), 0.02);
+  EXPECT_NEAR(p90.value(), quantile(xs, 0.9), 0.02);
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  EXPECT_EQ(q.value(), 0.0);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);
+}
+
+}  // namespace
+}  // namespace bac

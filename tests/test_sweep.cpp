@@ -1,0 +1,289 @@
+// The bacsim sweep driver: grid expansion, record contents, file
+// workloads, Monte-Carlo cells, and the parallel simulate_mc (clone-based
+// and factory-based) whose results must be bit-identical to serial
+// replay regardless of thread count — including when nested inside pool
+// tasks, which exercises the pool's deadlock-free waiting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <unistd.h>
+
+#include "algs/classical/classical.hpp"
+#include "algs/zoo.hpp"
+#include "core/simulator.hpp"
+#include "driver/sweep.hpp"
+#include "trace/bact.hpp"
+#include "trace/generators.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bac {
+namespace {
+
+// The global pool is built on first use; size it up front so these tests
+// exercise real parallelism even on single-core CI runners.
+[[maybe_unused]] const bool g_pool_sized = [] {
+  configure_global_pool(4);
+  return true;
+}();
+
+driver::SweepConfig small_config() {
+  driver::SweepConfig config;
+  config.policies = {"lru", "block_lru"};
+  config.workloads = {"zipf0.9", "scan"};
+  config.ks = {8, 16};
+  config.n = 64;
+  config.beta = 4;
+  config.T = 2000;
+  return config;
+}
+
+TEST(Sweep, EmitsOneRecordPerGridCell) {
+  std::mutex mutex;
+  std::vector<driver::SweepRecord> records;
+  const driver::SweepTotals totals =
+      driver::run_sweep(small_config(), [&](const driver::SweepRecord& r) {
+        std::lock_guard lock(mutex);
+        records.push_back(r);
+      });
+
+  EXPECT_EQ(totals.cells, 8);
+  ASSERT_EQ(records.size(), 8u);
+  EXPECT_EQ(totals.requests, 8 * 2000);
+  EXPECT_GT(totals.rps, 0.0);
+
+  std::map<std::string, int> per_policy;
+  for (const auto& r : records) {
+    EXPECT_EQ(r.requests, 2000);
+    EXPECT_GT(r.cost, 0.0);
+    EXPECT_EQ(r.n, 64);
+    EXPECT_EQ(r.beta, 4);
+    EXPECT_TRUE(r.k == 8 || r.k == 16);
+    ++per_policy[r.policy];
+  }
+  EXPECT_EQ(per_policy["lru"], 4);
+  EXPECT_EQ(per_policy["block_lru"], 4);
+}
+
+TEST(Sweep, CellsMatchDirectSimulation) {
+  driver::SweepConfig config = small_config();
+  config.policies = {"det_online"};
+  config.workloads = {"zipf0.9"};
+  config.ks = {16};
+
+  std::mutex mutex;
+  std::vector<driver::SweepRecord> records;
+  driver::run_sweep(config, [&](const driver::SweepRecord& r) {
+    std::lock_guard lock(mutex);
+    records.push_back(r);
+  });
+  ASSERT_EQ(records.size(), 1u);
+
+  auto source = driver::make_workload_source("zipf0.9", config, 16);
+  auto policy = make_policy("det_online");
+  SimOptions options;
+  options.seed = config.seed;
+  const RunResult direct = simulate(*source, *policy, options);
+  EXPECT_DOUBLE_EQ(records[0].cost,
+                   direct.eviction_cost + direct.fetch_cost);
+  EXPECT_EQ(records[0].misses, direct.misses);
+}
+
+TEST(Sweep, MissRatioCurveRidesAlong) {
+  driver::SweepConfig config = small_config();
+  config.policies = {"lru"};
+  config.workloads = {"zipf0.9"};
+  config.mrc = true;
+
+  std::mutex mutex;
+  std::vector<driver::SweepRecord> records;
+  driver::run_sweep(config, [&](const driver::SweepRecord& r) {
+    std::lock_guard lock(mutex);
+    records.push_back(r);
+  });
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& r : records) {
+    ASSERT_EQ(r.miss_curve.size(), config.ks.size());
+    // The curve is monotone non-increasing in k.
+    EXPECT_GE(r.miss_curve[0].second, r.miss_curve[1].second - 1e-12);
+  }
+}
+
+TEST(Sweep, RandomizedPoliciesRunMonteCarloTrials) {
+  driver::SweepConfig config = small_config();
+  config.policies = {"marking"};
+  config.workloads = {"zipf0.9"};
+  config.ks = {8};
+  config.trials = 3;
+
+  std::mutex mutex;
+  std::vector<driver::SweepRecord> records;
+  driver::run_sweep(config, [&](const driver::SweepRecord& r) {
+    std::lock_guard lock(mutex);
+    records.push_back(r);
+  });
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].trials, 3);
+  EXPECT_GT(records[0].cost, 0.0);
+  EXPECT_GE(records[0].stddev_cost, 0.0);
+  EXPECT_EQ(records[0].requests, 3 * 2000);  // trials x T, counted per run
+}
+
+TEST(Sweep, FileWorkloadsSweepAcrossK) {
+  const std::string file =
+      (std::filesystem::temp_directory_path() /
+       ("bac_sweep_" + std::to_string(::getpid()) + ".bact"))
+          .string();
+  Xoshiro256pp rng(77);
+  const Instance inst =
+      make_instance(32, 4, 8, zipf_trace(32, 600, 0.9, rng));
+  save_bact(inst, file);
+
+  driver::SweepConfig config;
+  config.policies = {"lru"};
+  config.workloads = {file};
+  config.ks = {8, 16};
+
+  std::mutex mutex;
+  std::vector<driver::SweepRecord> records;
+  driver::run_sweep(config, [&](const driver::SweepRecord& r) {
+    std::lock_guard lock(mutex);
+    records.push_back(r);
+  });
+  std::filesystem::remove(file);
+
+  ASSERT_EQ(records.size(), 2u);
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.k < b.k; });
+  EXPECT_EQ(records[0].k, 8);   // file header's k is overridden per cell
+  EXPECT_EQ(records[1].k, 16);
+  EXPECT_EQ(records[0].requests, 600);
+  EXPECT_GT(records[0].cost, 0.0);
+  EXPECT_GE(records[0].cost, records[1].cost);  // bigger cache, lower cost
+}
+
+TEST(Sweep, ZipfNamedFilesRouteToTraceReaders) {
+  // A trace whose basename starts with "zipf" must not be parsed as a
+  // synthetic zipf spec.
+  const std::string file =
+      (std::filesystem::temp_directory_path() /
+       ("zipf_day1_" + std::to_string(::getpid()) + ".bact"))
+          .string();
+  const Instance inst = make_instance(16, 4, 8, scan_trace(16, 100));
+  save_bact(inst, file);
+  driver::SweepConfig config = small_config();
+  auto source = driver::make_workload_source(file, config, 8);
+  EXPECT_EQ(source->horizon_hint(), 100);
+  std::filesystem::remove(file);
+}
+
+TEST(Sweep, UnknownPolicyOrWorkloadThrows) {
+  driver::SweepConfig config = small_config();
+  config.policies = {"definitely_not_a_policy"};
+  EXPECT_THROW(driver::run_sweep(config, nullptr), std::invalid_argument);
+
+  config = small_config();
+  config.workloads = {"definitely_not_a_workload"};
+  EXPECT_THROW(driver::run_sweep(config, nullptr), std::invalid_argument);
+}
+
+TEST(Sweep, InfeasibleKFailsLoudly) {
+  driver::SweepConfig config = small_config();
+  config.ks = {2};  // < beta = 4: no feasible cache
+  EXPECT_THROW(driver::run_sweep(config, nullptr), std::invalid_argument);
+}
+
+// --- parallel simulate_mc ---------------------------------------------------
+
+MonteCarloResult serial_reference(const Instance& inst, OnlinePolicy& policy,
+                                  int trials, std::uint64_t root_seed) {
+  // Mirrors the documented per-trial seed derivation and reduction order.
+  StreamingStats evict, fetch;
+  for (int i = 0; i < trials; ++i) {
+    SimOptions options;
+    options.seed =
+        root_seed + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+    options.record_sketch = false;
+    const RunResult r = simulate(inst, policy, options);
+    evict.add(r.eviction_cost);
+    fetch.add(r.fetch_cost);
+  }
+  MonteCarloResult out;
+  out.mean_eviction_cost = evict.mean();
+  out.mean_fetch_cost = fetch.mean();
+  out.stddev_eviction_cost = evict.stddev();
+  out.stddev_fetch_cost = fetch.stddev();
+  out.trials = trials;
+  return out;
+}
+
+TEST(ParallelMc, CloneBasedTrialsAreBitIdenticalToSerial) {
+  ASSERT_GT(global_pool().size(), 1u);
+  Xoshiro256pp rng(61);
+  const Instance inst =
+      make_instance(32, 4, 8, zipf_trace(32, 1500, 0.9, rng));
+
+  MarkingPolicy reference;
+  const MonteCarloResult want = serial_reference(inst, reference, 8, 5);
+  MarkingPolicy parallel;
+  const MonteCarloResult got = simulate_mc(inst, parallel, 8, 5);
+
+  EXPECT_EQ(got.trials, want.trials);
+  EXPECT_DOUBLE_EQ(got.mean_eviction_cost, want.mean_eviction_cost);
+  EXPECT_DOUBLE_EQ(got.mean_fetch_cost, want.mean_fetch_cost);
+  EXPECT_DOUBLE_EQ(got.stddev_eviction_cost, want.stddev_eviction_cost);
+  EXPECT_DOUBLE_EQ(got.stddev_fetch_cost, want.stddev_fetch_cost);
+}
+
+TEST(ParallelMc, FactoryVariantMatchesCloneVariant) {
+  Xoshiro256pp rng(62);
+  const Instance inst =
+      make_instance(24, 3, 9, zipf_trace(24, 1200, 0.8, rng));
+  MarkingPolicy proto;
+  const MonteCarloResult clone_based = simulate_mc(inst, proto, 6, 11);
+  const MonteCarloResult factory_based = simulate_mc(
+      [&] { return std::make_unique<InstanceSource>(inst); },
+      [] {
+        return std::unique_ptr<OnlinePolicy>(
+            std::make_unique<MarkingPolicy>());
+      },
+      6, 11);
+  EXPECT_DOUBLE_EQ(factory_based.mean_fetch_cost,
+                   clone_based.mean_fetch_cost);
+  EXPECT_DOUBLE_EQ(factory_based.stddev_fetch_cost,
+                   clone_based.stddev_fetch_cost);
+}
+
+TEST(ParallelMc, NestedInsidePoolTasksDoesNotDeadlock) {
+  Xoshiro256pp rng(63);
+  const Instance inst =
+      make_instance(24, 3, 9, zipf_trace(24, 800, 0.9, rng));
+  std::vector<MonteCarloResult> results(6);
+  global_pool().parallel_for_indexed(6, [&](std::size_t i) {
+    MarkingPolicy marking;
+    results[i] = simulate_mc(inst, marking, 4, 100 + i);
+  });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].trials, 4);
+    EXPECT_GT(results[i].mean_fetch_cost, 0.0);
+  }
+}
+
+TEST(ParallelMc, PrototypeStateReflectsACompletedRun) {
+  // Callers read policy state after simulate_mc (e.g. fractional costs);
+  // the parallel path must leave the prototype having run a trial.
+  Xoshiro256pp rng(64);
+  const Instance inst =
+      make_instance(20, 4, 8, zipf_trace(20, 600, 0.9, rng));
+  MarkingPolicy marking;
+  const MonteCarloResult mc = simulate_mc(inst, marking, 4, 9);
+  EXPECT_EQ(mc.trials, 4);
+  // A fresh simulate on the prototype must not throw (state consistent).
+  EXPECT_NO_THROW(simulate(inst, marking));
+}
+
+}  // namespace
+}  // namespace bac

@@ -1,0 +1,329 @@
+// Round-trip fidelity of the .bact binary format and the CSV key-trace
+// adapter, and the streaming-equivalence guarantee: every generator
+// workload pushed through .bact or the v1 text format must reproduce a
+// bit-identical RunResult for LRU, BlockLRU, and the deterministic online
+// algorithm.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "algs/classical/classical.hpp"
+#include "algs/det_online.hpp"
+#include "core/simulator.hpp"
+#include "trace/bact.hpp"
+#include "trace/csv.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+
+namespace bac {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bac_fmt_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+using TraceFormats = TempDir;
+using CsvTrace = TempDir;
+
+std::vector<Instance> generator_workloads() {
+  std::vector<Instance> out;
+  Xoshiro256pp rng(404);
+  out.push_back(make_instance(48, 6, 12, zipf_trace(48, 1200, 0.9, rng)));
+  out.push_back(make_instance(30, 3, 9, scan_trace(30, 900)));
+  {
+    BlockMap blocks = BlockMap::contiguous(40, 5);
+    auto req = block_local_trace(blocks, 1000, 0.75, 0.9, rng);
+    out.push_back(Instance{std::move(blocks), std::move(req), 10});
+  }
+  out.push_back(make_instance(36, 4, 12,
+                              phased_trace(36, 800, 80, 16, rng)));
+  out.push_back(make_instance(25, 5, 10, uniform_trace(25, 700, rng)));
+  out.push_back(make_weighted_instance(24, 4, 8, uniform_trace(24, 600, rng),
+                                       log_uniform_costs(6, 32.0, rng)));
+  return out;
+}
+
+bool identical_run(const RunResult& a, const RunResult& b) {
+  return a.eviction_cost == b.eviction_cost && a.fetch_cost == b.fetch_cost &&
+         a.classic_eviction_cost == b.classic_eviction_cost &&
+         a.classic_fetch_cost == b.classic_fetch_cost &&
+         a.evict_block_events == b.evict_block_events &&
+         a.fetch_block_events == b.fetch_block_events &&
+         a.evicted_pages == b.evicted_pages &&
+         a.fetched_pages == b.fetched_pages && a.misses == b.misses &&
+         a.requests == b.requests && a.violations == b.violations;
+}
+
+std::vector<std::unique_ptr<OnlinePolicy>> equivalence_policies() {
+  std::vector<std::unique_ptr<OnlinePolicy>> out;
+  out.push_back(std::make_unique<LruPolicy>());
+  out.push_back(std::make_unique<BlockLruPolicy>(false));
+  out.push_back(std::make_unique<DetOnlineBlockAware>());
+  return out;
+}
+
+TEST_F(TraceFormats, BactRoundTripIsBitIdenticalForEveryWorkload) {
+  int wi = 0;
+  for (const Instance& inst : generator_workloads()) {
+    const std::string file = path("w" + std::to_string(wi++) + ".bact");
+    save_bact(inst, file);
+
+    // Materialized round trip preserves the instance exactly.
+    const Instance back = load_bact(file);
+    EXPECT_EQ(back.requests, inst.requests);
+    EXPECT_EQ(back.k, inst.k);
+    ASSERT_EQ(back.n_pages(), inst.n_pages());
+    for (PageId p = 0; p < inst.n_pages(); ++p)
+      EXPECT_EQ(back.blocks.block_of(p), inst.blocks.block_of(p));
+    for (BlockId b = 0; b < inst.blocks.n_blocks(); ++b)
+      EXPECT_EQ(back.blocks.cost(b), inst.blocks.cost(b));
+
+    // Streaming replay: bit-identical RunResult per policy.
+    for (const auto& proto : equivalence_policies()) {
+      const auto direct_policy = proto->clone();
+      const auto stream_policy = proto->clone();
+      ASSERT_NE(direct_policy, nullptr);
+      ASSERT_NE(stream_policy, nullptr);
+      const RunResult direct = simulate(inst, *direct_policy);
+      BactSource src(file);
+      const RunResult streamed = simulate(src, *stream_policy);
+      EXPECT_TRUE(identical_run(direct, streamed))
+          << proto->name() << " diverged through .bact on workload " << wi;
+    }
+  }
+}
+
+TEST_F(TraceFormats, TextRoundTripIsBitIdenticalForEveryWorkload) {
+  int wi = 0;
+  for (const Instance& inst : generator_workloads()) {
+    const std::string file = path("w" + std::to_string(wi++) + ".txt");
+    save_instance(inst, file);
+    for (const auto& proto : equivalence_policies()) {
+      const auto direct_policy = proto->clone();
+      const auto stream_policy = proto->clone();
+      const RunResult direct = simulate(inst, *direct_policy);
+      TextTraceSource src(file);
+      EXPECT_EQ(src.horizon_hint(),
+                static_cast<long long>(inst.requests.size()));
+      const RunResult streamed = simulate(src, *stream_policy);
+      EXPECT_TRUE(identical_run(direct, streamed))
+          << proto->name() << " diverged through text on workload " << wi;
+    }
+  }
+}
+
+TEST_F(TraceFormats, BactSourceRewindReplays) {
+  const Instance inst = make_instance(16, 4, 8, scan_trace(16, 200));
+  const std::string file = path("rewind.bact");
+  save_bact(inst, file);
+  BactSource src(file);
+  LruPolicy lru;
+  const RunResult first = simulate(src, lru);
+  src.rewind();
+  const RunResult second = simulate(src, lru);
+  EXPECT_TRUE(identical_run(first, second));
+}
+
+TEST_F(TraceFormats, BactWriterStreamsUnknownLength) {
+  const BlockMap blocks = BlockMap::contiguous(12, 3);
+  const std::string file = path("stream.bact");
+  {
+    std::ofstream out(file, std::ios::binary);
+    BactWriter writer(out, blocks, 6);  // declared_T = 0: unknown
+    for (int i = 0; i < 100; ++i) writer.add(static_cast<PageId>(i % 12));
+    writer.finish();
+    EXPECT_EQ(writer.written(), 100);
+  }
+  BactSource src(file);
+  EXPECT_EQ(src.horizon_hint(), -1);  // unknown upfront
+  PageId p;
+  long long count = 0;
+  while (src.next(p)) {
+    EXPECT_EQ(p, static_cast<PageId>(count % 12));
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(TraceFormats, BactRejectsGarbageAndTruncation) {
+  const std::string garbage = path("garbage.bact");
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "this is not a bact file at all";
+  }
+  EXPECT_THROW(BactSource{garbage}, std::runtime_error);
+
+  const Instance inst = make_instance(16, 4, 8, scan_trace(16, 300));
+  const std::string file = path("full.bact");
+  save_bact(inst, file);
+  const auto full_size = std::filesystem::file_size(file);
+  const std::string cut = path("cut.bact");
+  {
+    std::ifstream in(file, std::ios::binary);
+    std::ofstream out(cut, std::ios::binary);
+    std::vector<char> buf(full_size / 2);
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  EXPECT_THROW(
+      {
+        BactSource src(cut);
+        PageId p;
+        while (src.next(p)) {
+        }
+      },
+      std::runtime_error);
+
+  EXPECT_THROW(BactSource{path("missing.bact")}, std::runtime_error);
+}
+
+TEST_F(TraceFormats, BactWriterRejectsBadPagesAndDeclaredMismatch) {
+  const BlockMap blocks = BlockMap::contiguous(8, 2);
+  std::ostringstream os;
+  BactWriter writer(os, blocks, 4, /*declared_T=*/3);
+  EXPECT_THROW(writer.add(8), std::out_of_range);
+  EXPECT_THROW(writer.add(-1), std::out_of_range);
+  writer.add(0);
+  writer.add(1);
+  EXPECT_THROW(writer.finish(), std::logic_error);  // wrote 2, declared 3
+}
+
+TEST_F(CsvTrace, NumericKeysGetExtentBlocks) {
+  const std::string file = path("lba.csv");
+  {
+    std::ofstream out(file);
+    out << "timestamp,key,size\n";  // header skipped: timestamp not numeric
+    out << "1,100,4096\n2,101,4096\n3,102,4096\n4,200,8192\n"
+        << "5,100,4096\n6,201,8192\n7,102,4096\n";
+  }
+  CsvOptions options;
+  options.block_pages = 4;
+  options.k = 4;
+  const CsvMapping mapping = build_csv_mapping(file, options);
+  EXPECT_TRUE(mapping.numeric_keys);
+  EXPECT_EQ(mapping.rows, 7);
+  ASSERT_EQ(mapping.key_to_page.size(), 5u);  // 100 101 102 200 201
+  // Keys 100..102 share extent 25 (span 4); 200..201 share extent 50.
+  const PageId p100 = mapping.key_to_page.at("100");
+  const PageId p102 = mapping.key_to_page.at("102");
+  const PageId p200 = mapping.key_to_page.at("200");
+  const PageId p201 = mapping.key_to_page.at("201");
+  EXPECT_EQ(mapping.blocks.block_of(p100), mapping.blocks.block_of(p102));
+  EXPECT_EQ(mapping.blocks.block_of(p200), mapping.blocks.block_of(p201));
+  EXPECT_NE(mapping.blocks.block_of(p100), mapping.blocks.block_of(p200));
+
+  const Instance inst = load_csv_trace(file, options);
+  EXPECT_EQ(inst.horizon(), 7);
+  EXPECT_EQ(inst.requests[0], p100);
+  EXPECT_EQ(inst.requests[4], p100);
+}
+
+TEST_F(CsvTrace, StringKeysGetArrivalBlocks) {
+  const std::string file = path("objects.csv");
+  {
+    std::ofstream out(file);
+    out << "1,/img/a.jpg,100\n2,/img/b.jpg,150\n3,/js/app.js,80\n"
+        << "4,/img/a.jpg,100\n5,/css/site.css,60\n";
+  }
+  CsvOptions options;
+  options.block_pages = 2;
+  options.k = 2;
+  const CsvMapping mapping = build_csv_mapping(file, options);
+  EXPECT_FALSE(mapping.numeric_keys);
+  EXPECT_EQ(mapping.key_to_page.size(), 4u);
+  // First-seen order: a.jpg=0, b.jpg=1 (block 0); app.js=2, site.css=3.
+  EXPECT_EQ(mapping.blocks.block_of(0), mapping.blocks.block_of(1));
+  EXPECT_EQ(mapping.blocks.block_of(2), mapping.blocks.block_of(3));
+}
+
+TEST_F(CsvTrace, StreamingMatchesMaterialized) {
+  const std::string file = path("trace.csv");
+  {
+    std::ofstream out(file);
+    Xoshiro256pp rng(5);
+    for (int i = 0; i < 400; ++i)
+      out << i << "," << 1000 + rng.below(24) << ",4096\n";
+  }
+  CsvOptions options;
+  options.block_pages = 4;
+  options.k = 8;
+  const Instance inst = load_csv_trace(file, options);
+
+  auto mapping = std::make_shared<const CsvMapping>(
+      build_csv_mapping(file, options));
+  CsvSource src(file, mapping, options);
+  EXPECT_EQ(src.horizon_hint(), 400);
+
+  LruPolicy a, b;
+  EXPECT_TRUE(identical_run(simulate(inst, a), simulate(src, b)));
+  src.rewind();
+  LruPolicy c;
+  EXPECT_TRUE(identical_run(simulate(inst, a), simulate(src, c)));
+}
+
+TEST_F(CsvTrace, RejectsEmptyAndMissingFiles) {
+  CsvOptions options;
+  options.k = 4;
+  EXPECT_THROW(build_csv_mapping(path("missing.csv"), options),
+               std::runtime_error);
+  const std::string empty = path("empty.csv");
+  {
+    std::ofstream out(empty);
+    out << "timestamp,key,size\n";  // header only, no data
+  }
+  EXPECT_THROW(build_csv_mapping(empty, options), std::runtime_error);
+  CsvOptions bad = options;
+  bad.k = 0;
+  EXPECT_THROW(build_csv_mapping(empty, bad), std::invalid_argument);
+}
+
+TEST_F(CsvTrace, SizeColumnIsOptional) {
+  const std::string file = path("two_col.csv");
+  {
+    std::ofstream out(file);
+    out << "1,alpha\n2,beta\n3,alpha\n";  // timestamp,key only
+  }
+  CsvOptions options;
+  options.block_pages = 2;
+  options.k = 2;
+  const CsvMapping mapping = build_csv_mapping(file, options);
+  EXPECT_EQ(mapping.rows, 3);
+  EXPECT_EQ(mapping.key_to_page.size(), 2u);
+}
+
+TEST_F(CsvTrace, CostFromSizeScalesBlockCosts) {
+  const std::string file = path("sized.csv");
+  {
+    std::ofstream out(file);
+    out << "1,10,4096\n2,11,4096\n3,100,65536\n4,101,65536\n";
+  }
+  CsvOptions options;
+  options.block_pages = 2;
+  options.k = 4;
+  options.cost_from_size = true;
+  const CsvMapping mapping = build_csv_mapping(file, options);
+  const BlockId cheap = mapping.blocks.block_of(mapping.key_to_page.at("10"));
+  const BlockId dear = mapping.blocks.block_of(mapping.key_to_page.at("100"));
+  EXPECT_LT(mapping.blocks.cost(cheap), mapping.blocks.cost(dear));
+}
+
+}  // namespace
+}  // namespace bac

@@ -47,5 +47,104 @@ TEST(TraceIo, RejectsTruncated) {
   EXPECT_THROW(load_instance(cut), std::runtime_error);
 }
 
+std::string error_of(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    load_instance(ss);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+bool mentions(const std::string& message, const std::string& needle) {
+  return message.find(needle) != std::string::npos;
+}
+
+TEST(TraceIo, EmptyInputNamesTheMissingHeader) {
+  const std::string msg = error_of("");
+  ASSERT_FALSE(msg.empty()) << "empty input must throw";
+  EXPECT_TRUE(mentions(msg, "blockcache-instance")) << msg;
+}
+
+TEST(TraceIo, WrongHeaderWordIsDescriptive) {
+  const std::string msg = error_of("blockcache-trace v1 n 2 k 1");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_TRUE(mentions(msg, "blockcache-instance")) << msg;
+}
+
+TEST(TraceIo, WrongVersionRejected) {
+  EXPECT_FALSE(error_of("blockcache-instance v2 n 2 k 1").empty());
+}
+
+TEST(TraceIo, NonNumericCountsRejected) {
+  const std::string msg =
+      error_of("blockcache-instance v1 n many k 1 blocks 1");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_TRUE(mentions(msg, "many")) << msg;
+}
+
+TEST(TraceIo, NegativeAndZeroSizesRejected) {
+  EXPECT_FALSE(error_of("blockcache-instance v1 n 0 k 1 blocks 1").empty());
+  EXPECT_FALSE(error_of("blockcache-instance v1 n 4 k 0 blocks 1").empty());
+  EXPECT_FALSE(error_of("blockcache-instance v1 n 4 k 2 blocks 0").empty());
+}
+
+TEST(TraceIo, OutOfRangeBlockPageRejected) {
+  const std::string msg = error_of(
+      "blockcache-instance v1 n 2 k 2 blocks 1 block 0 1.0 0 7 "
+      "requests 0");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_TRUE(mentions(msg, "7")) << msg;
+}
+
+TEST(TraceIo, UnassignedPageRejected) {
+  const std::string msg = error_of(
+      "blockcache-instance v1 n 2 k 2 blocks 1 block 0 1.0 0 requests 0");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_TRUE(mentions(msg, "not assigned")) << msg;
+}
+
+TEST(TraceIo, DuplicatePageAssignmentRejected) {
+  const std::string msg = error_of(
+      "blockcache-instance v1 n 2 k 2 blocks 2 block 0 1.0 0 1 "
+      "block 1 1.0 1 requests 0");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_TRUE(mentions(msg, "assigned to blocks")) << msg;
+}
+
+TEST(TraceIo, OutOfRangeRequestPageRejected) {
+  const std::string msg = error_of(
+      "blockcache-instance v1 n 2 k 2 blocks 1 block 0 1.0 0 1 "
+      "requests 2 0 9");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_TRUE(mentions(msg, "9")) << msg;
+  EXPECT_TRUE(mentions(msg, "outside")) << msg;
+}
+
+TEST(TraceIo, TruncatedRequestSectionCountsProgress) {
+  const std::string msg = error_of(
+      "blockcache-instance v1 n 2 k 2 blocks 1 block 0 1.0 0 1 "
+      "requests 5 0 1 0");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_TRUE(mentions(msg, "3 of 5")) << msg;
+}
+
+TEST(TraceIo, NonPositiveBlockCostRejected) {
+  EXPECT_FALSE(
+      error_of("blockcache-instance v1 n 2 k 2 blocks 1 block 0 -1.0 0 1 "
+               "requests 0")
+          .empty());
+}
+
+TEST(TraceIo, MissingFileNamesThePath) {
+  try {
+    load_instance(std::string("/nonexistent/bac_trace.txt"));
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_TRUE(mentions(e.what(), "/nonexistent/bac_trace.txt"));
+  }
+}
+
 }  // namespace
 }  // namespace bac
