@@ -13,7 +13,7 @@ class CacheSet {
   explicit CacheSet(int n_pages)
       : position_(static_cast<std::size_t>(n_pages), kAbsent) {}
 
-  [[nodiscard]] bool contains(PageId p) const {
+  [[nodiscard]] bool contains(PageId p) const noexcept {
     return position_[static_cast<std::size_t>(p)] != kAbsent;
   }
   [[nodiscard]] int size() const noexcept {

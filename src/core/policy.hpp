@@ -25,13 +25,15 @@ class CacheOps {
   CacheOps(const BlockMap& blocks, CacheSet& cache, CostMeter& meter, int k)
       : blocks_(&blocks), cache_(&cache), meter_(&meter), k_(k) {}
 
-  [[nodiscard]] bool contains(PageId p) const { return cache_->contains(p); }
-  [[nodiscard]] int size() const { return cache_->size(); }
+  [[nodiscard]] bool contains(PageId p) const noexcept {
+    return cache_->contains(p);
+  }
+  [[nodiscard]] int size() const noexcept { return cache_->size(); }
   [[nodiscard]] int capacity() const noexcept { return k_; }
-  [[nodiscard]] const std::vector<PageId>& pages() const {
+  [[nodiscard]] const std::vector<PageId>& pages() const noexcept {
     return cache_->pages();
   }
-  [[nodiscard]] const BlockMap& blocks() const { return *blocks_; }
+  [[nodiscard]] const BlockMap& blocks() const noexcept { return *blocks_; }
 
   /// Insert p, charging the fetch side of its block (no-op if present).
   void fetch(PageId p) {
@@ -122,10 +124,17 @@ class OnlinePolicy {
   /// streaming sources, whose context carries no request vector.
   [[nodiscard]] virtual bool requires_future() const { return false; }
 
-  /// Fresh copy for parallel Monte-Carlo trials, or nullptr when the
-  /// policy is not cloneable (simulate_mc then falls back to serial
-  /// trials). Clones are only valid after a reset() — copied internal
-  /// pointers may still reference the original's state until then.
+  /// Fresh copy for parallel Monte-Carlo trials and the sharded server,
+  /// or nullptr when the policy is not cloneable (simulate_mc then falls
+  /// back to serial trials; the server refuses to construct). Clones are
+  /// only valid after a reset() — copied internal pointers may still
+  /// reference the original's state until then.
+  ///
+  /// Concurrency contract: after reset() (and seed(), if randomized),
+  /// a clone must share no mutable state with its prototype or with
+  /// sibling clones, so distinct clones may serve requests from distinct
+  /// threads concurrently without synchronization. Shared immutable state
+  /// (e.g. the Instance passed to reset()) is fine.
   [[nodiscard]] virtual std::unique_ptr<OnlinePolicy> clone() const {
     return nullptr;
   }

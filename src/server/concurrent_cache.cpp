@@ -1,0 +1,141 @@
+#include "server/concurrent_cache.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace bac::server {
+
+namespace {
+
+/// Stateless block -> shard hash. splitmix64 scrambles the id so
+/// contiguous block ranges (the common layout for extent-grouped traces)
+/// spread evenly instead of striping.
+int shard_of_block(BlockId b, int n_shards) {
+  std::uint64_t state = static_cast<std::uint64_t>(b) + 1;
+  return static_cast<int>(splitmix64(state) %
+                          static_cast<std::uint64_t>(n_shards));
+}
+
+}  // namespace
+
+int ConcurrentCache::max_shards(const Instance& context) {
+  const int beta = context.blocks.beta();
+  if (beta <= 0 || context.k < beta) return 1;
+  return context.k / beta;
+}
+
+ConcurrentCache::ConcurrentCache(const Instance& context,
+                                 const OnlinePolicy& prototype, int n_shards,
+                                 std::uint64_t seed)
+    : context_{context.blocks, {}, context.k} {
+  context_.validate();
+  if (n_shards < 1)
+    throw std::invalid_argument("ConcurrentCache: n_shards must be >= 1");
+  if (prototype.requires_future())
+    throw std::invalid_argument(
+        "ConcurrentCache: offline policy " + prototype.name() +
+        " cannot serve a live request stream");
+  const int base = context_.k / n_shards;
+  if (base < context_.blocks.beta())
+    throw std::invalid_argument(
+        "ConcurrentCache: k / n_shards = " + std::to_string(base) +
+        " is below beta = " + std::to_string(context_.blocks.beta()) +
+        " (at most max_shards() = " + std::to_string(max_shards(context_)) +
+        " shards for this instance)");
+
+  const int remainder = context_.k % n_shards;
+  header_lo_ = std::make_unique<const Instance>(
+      Instance{context_.blocks, {}, base});
+  // A header is a full BlockMap copy (O(n_pages)); only materialize the
+  // base+1 variant when some shard actually takes a remainder page.
+  if (remainder > 0)
+    header_hi_ = std::make_unique<const Instance>(
+        Instance{context_.blocks, {}, base + 1});
+
+  const int n_blocks = context_.blocks.n_blocks();
+  std::vector<std::int32_t> block_shard(static_cast<std::size_t>(n_blocks));
+  for (BlockId b = 0; b < n_blocks; ++b)
+    block_shard[static_cast<std::size_t>(b)] =
+        static_cast<std::int32_t>(shard_of_block(b, n_shards));
+  page_shard_.resize(static_cast<std::size_t>(context_.n_pages()));
+  for (PageId p = 0; p < context_.n_pages(); ++p)
+    page_shard_[static_cast<std::size_t>(p)] = block_shard[
+        static_cast<std::size_t>(context_.blocks.block_of(p))];
+
+  shards_.reserve(static_cast<std::size_t>(n_shards));
+  for (int s = 0; s < n_shards; ++s) {
+    auto policy = prototype.clone();
+    if (!policy)
+      throw std::invalid_argument(
+          "ConcurrentCache: policy " + prototype.name() +
+          " is not cloneable (clone() returned nullptr); every shard "
+          "needs an independent instance");
+    const Instance& header = s < remainder ? *header_hi_ : *header_lo_;
+    shards_.push_back(std::make_unique<CacheShard>(
+        header, std::move(policy), seed + static_cast<std::uint64_t>(s)));
+  }
+}
+
+bool ConcurrentCache::get(PageId p) {
+  if (p < 0 || p >= context_.n_pages())
+    throw std::out_of_range("ConcurrentCache: page " + std::to_string(p) +
+                            " outside [0, " +
+                            std::to_string(context_.n_pages()) + ")");
+  return shards_[static_cast<std::size_t>(
+                     page_shard_[static_cast<std::size_t>(p)])]
+      ->get(p);
+}
+
+int ConcurrentCache::shard_of(PageId p) const {
+  if (p < 0 || p >= context_.n_pages())
+    throw std::out_of_range("ConcurrentCache: page " + std::to_string(p) +
+                            " outside [0, " +
+                            std::to_string(context_.n_pages()) + ")");
+  return page_shard_[static_cast<std::size_t>(p)];
+}
+
+ShardSnapshot ConcurrentCache::shard_snapshot(int shard) const {
+  return shards_.at(static_cast<std::size_t>(shard))->snapshot();
+}
+
+ServerStats ConcurrentCache::stats() const {
+  ServerStats out;
+  // Approximate quantile merge: count-weighted mean of the per-shard P^2
+  // estimates. Latency means merge exactly via Welford; maxima via max.
+  double p50_weighted = 0, p99_weighted = 0, mean_weighted = 0;
+  long long lat_count = 0;
+  for (const auto& shard : shards_) {
+    const ShardSnapshot s = shard->snapshot();
+    out.requests += s.requests;
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.eviction_cost += s.eviction_cost;
+    out.fetch_cost += s.fetch_cost;
+    out.classic_eviction_cost += s.classic_eviction_cost;
+    out.classic_fetch_cost += s.classic_fetch_cost;
+    out.evict_block_events += s.evict_block_events;
+    out.fetch_block_events += s.fetch_block_events;
+    out.evicted_pages += s.evicted_pages;
+    out.fetched_pages += s.fetched_pages;
+    out.cached_pages += s.cached_pages;
+    if (s.requests > 0) {
+      const auto w = static_cast<double>(s.requests);
+      p50_weighted += w * s.lat_p50_us;
+      p99_weighted += w * s.lat_p99_us;
+      mean_weighted += w * s.lat_mean_us;
+      if (s.lat_max_us > out.lat_max_us) out.lat_max_us = s.lat_max_us;
+      lat_count += s.requests;
+    }
+  }
+  if (lat_count > 0) {
+    const auto total = static_cast<double>(lat_count);
+    out.lat_p50_us = p50_weighted / total;
+    out.lat_p99_us = p99_weighted / total;
+    out.lat_mean_us = mean_weighted / total;
+  }
+  return out;
+}
+
+}  // namespace bac::server

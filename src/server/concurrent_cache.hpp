@@ -1,0 +1,108 @@
+// Thread-safe sharded block-aware cache front-end with a get(page) API.
+//
+// Sharding is by *block*: every page of a block is owned by exactly one
+// shard (splitmix64 hash of the block id, mod the shard count), so
+// per-shard CostMeters never split a block's batched flush or fetch
+// across meters — the paper's cost model stays exact under concurrency.
+// The global capacity k is divided near-evenly across shards (shard 0
+// upward take the remainder pages, and every shard keeps capacity >=
+// beta, enforced at construction). Each shard runs an independent clone
+// of a prototype OnlinePolicy behind its own mutex; requests to distinct
+// shards proceed fully in parallel.
+//
+// Determinism: a shard's cost depends only on the order of the requests
+// *it* serves (shards share no mutable state). Any dispatch that
+// preserves per-shard request order — e.g. serve_partitioned() in
+// dispatch.hpp, where one worker owns each shard — therefore produces
+// bit-identical total block-aware cost at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "server/shard.hpp"
+
+namespace bac::server {
+
+/// Aggregate of the per-shard snapshots (see stats() for merge rules).
+struct ServerStats {
+  long long requests = 0;
+  long long hits = 0;
+  long long misses = 0;
+  Cost eviction_cost = 0;
+  Cost fetch_cost = 0;
+  Cost classic_eviction_cost = 0;
+  Cost classic_fetch_cost = 0;
+  long long evict_block_events = 0;
+  long long fetch_block_events = 0;
+  long long evicted_pages = 0;
+  long long fetched_pages = 0;
+  int cached_pages = 0;
+  /// Count-weighted means of the per-shard P^2 estimates (approximate —
+  /// P^2 sketches have no exact merge); 0 before any request.
+  double lat_p50_us = 0;
+  double lat_p99_us = 0;
+  double lat_mean_us = 0;  ///< exact (Welford merge across shards)
+  double lat_max_us = 0;   ///< exact
+
+  [[nodiscard]] Cost total_cost() const noexcept {
+    return eviction_cost + fetch_cost;
+  }
+};
+
+class ConcurrentCache {
+ public:
+  /// `context` supplies the block structure and the *total* capacity k;
+  /// its requests (if any) are ignored. The prototype policy must be
+  /// cloneable and online — requires_future() policies cannot serve a
+  /// live request stream. Shard i's policy clone is seeded with seed + i,
+  /// so runs are reproducible for any dispatch that preserves per-shard
+  /// order. Throws std::invalid_argument when n_shards < 1, the prototype
+  /// is offline or not cloneable, or k / n_shards < beta (use
+  /// max_shards() to size the shard count).
+  ConcurrentCache(const Instance& context, const OnlinePolicy& prototype,
+                  int n_shards, std::uint64_t seed = 1);
+
+  // Shards hold pointers into the coordinator-owned headers.
+  ConcurrentCache(const ConcurrentCache&) = delete;
+  ConcurrentCache& operator=(const ConcurrentCache&) = delete;
+
+  /// Serve one request; true on hit. Thread-safe for any mix of pages.
+  /// Throws std::out_of_range for pages outside the context's universe.
+  bool get(PageId p);
+
+  [[nodiscard]] int n_shards() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  /// Shard owning page p (every page of p's block maps to the same one).
+  [[nodiscard]] int shard_of(PageId p) const;
+  /// The block structure and total k the cache was built with.
+  [[nodiscard]] const Instance& context() const noexcept { return context_; }
+
+  /// Aggregated counters/costs/latency over all shards, locking each
+  /// shard in turn (shard index order, so repeated calls on a quiesced
+  /// cache are deterministic). Not a consistent point-in-time snapshot
+  /// while traffic is in flight.
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] ShardSnapshot shard_snapshot(int shard) const;
+
+  /// Largest shard count that keeps every shard's capacity >= beta
+  /// (i.e. floor(k / beta), at least 1).
+  [[nodiscard]] static int max_shards(const Instance& context);
+
+ private:
+  Instance context_;  ///< full structure, k = total capacity
+  /// Shared shard headers: at most two distinct shard capacities exist
+  /// (floor(k/S) and floor(k/S)+1), so two headers serve every shard and
+  /// no per-shard BlockMap copies are made; header_hi_ stays null when
+  /// k % S == 0 (a header is an O(n_pages) BlockMap copy).
+  std::unique_ptr<const Instance> header_lo_;
+  std::unique_ptr<const Instance> header_hi_;
+  std::vector<std::int32_t> page_shard_;  ///< page -> owning shard
+  std::vector<std::unique_ptr<CacheShard>> shards_;
+};
+
+}  // namespace bac::server

@@ -1,0 +1,37 @@
+// Closed-loop multithreaded replay of a materialized request sequence
+// through a ConcurrentCache. Shared by tools/bacload and the concurrency
+// test suite.
+//
+// Two dispatch modes:
+//
+//   serve_partitioned — worker j owns every shard s with s % n_threads
+//     == j and serves that shard's requests in trace order. Per-shard
+//     order is independent of the thread count, and shards share no
+//     mutable state, so the total block-aware cost is bit-identical at
+//     every thread count (the equivalence property bacload validates).
+//     Workers never contend on a shard mutex.
+//
+//   serve_chunked — the trace is cut into n_threads contiguous chunks,
+//     one per worker, so shards are hit from many threads at once. The
+//     interleaving (hence the exact cost) is nondeterministic; this mode
+//     exists to stress the locking (TSan) and to measure contention.
+//
+// Both return the wall-clock seconds of the parallel serve (partitioning
+// and thread setup excluded), and both rethrow the first worker
+// exception after all workers have joined.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "server/concurrent_cache.hpp"
+
+namespace bac::server {
+
+double serve_partitioned(ConcurrentCache& cache,
+                         const std::vector<PageId>& requests, int n_threads);
+
+double serve_chunked(ConcurrentCache& cache,
+                     const std::vector<PageId>& requests, int n_threads);
+
+}  // namespace bac::server

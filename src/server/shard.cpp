@@ -1,0 +1,80 @@
+#include "server/shard.hpp"
+
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace bac::server {
+
+CacheShard::CacheShard(const Instance& header,
+                       std::unique_ptr<OnlinePolicy> policy,
+                       std::uint64_t seed)
+    : header_(&header),
+      policy_(std::move(policy)),
+      cache_(header.n_pages()),
+      meter_(header.blocks),
+      ops_(header.blocks, cache_, meter_, header.k) {
+  policy_->reset(*header_);
+  policy_->seed(seed);
+}
+
+bool CacheShard::get(PageId p) {
+  // Latency includes the lock wait: under closed-loop load the queueing
+  // delay at a hot shard is part of the service time a client observes.
+  const auto start = std::chrono::steady_clock::now();
+  std::lock_guard lock(mutex_);
+  if (t_ == std::numeric_limits<Time>::max())
+    throw std::runtime_error(
+        "CacheShard: shard served 2^31-1 requests (Time is 32-bit)");
+  ++t_;
+  meter_.begin_step(t_);
+  const bool hit = cache_.contains(p);
+  if (hit)
+    ++hits_;
+  else
+    ++misses_;
+  policy_->on_request(t_, p, ops_);
+  // Feasibility audit, as in the simulator — a server must not silently
+  // repair a broken policy.
+  if (!cache_.contains(p))
+    throw std::runtime_error("CacheShard: policy " + policy_->name() +
+                             " left requested page uncached");
+  if (cache_.size() > header_->k)
+    throw std::runtime_error("CacheShard: policy " + policy_->name() +
+                             " exceeded shard capacity");
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  lat_p50_.add(us);
+  lat_p99_.add(us);
+  lat_us_.add(us);
+  return hit;
+}
+
+ShardSnapshot CacheShard::snapshot() const {
+  std::lock_guard lock(mutex_);
+  ShardSnapshot s;
+  s.requests = hits_ + misses_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.eviction_cost = meter_.eviction_cost();
+  s.fetch_cost = meter_.fetch_cost();
+  s.classic_eviction_cost = meter_.classic_eviction_cost();
+  s.classic_fetch_cost = meter_.classic_fetch_cost();
+  s.evict_block_events = meter_.evict_block_events();
+  s.fetch_block_events = meter_.fetch_block_events();
+  s.evicted_pages = meter_.evicted_pages();
+  s.fetched_pages = meter_.fetched_pages();
+  s.cached_pages = cache_.size();
+  s.capacity = header_->k;
+  if (s.requests > 0) {
+    s.lat_p50_us = lat_p50_.value();
+    s.lat_p99_us = lat_p99_.value();
+    s.lat_mean_us = lat_us_.mean();
+    s.lat_max_us = lat_us_.max();
+  }
+  return s;
+}
+
+}  // namespace bac::server

@@ -1,0 +1,86 @@
+// One shard of the concurrent data-plane: a single-threaded block-aware
+// cache (policy + cache set + cost meter) behind a mutex.
+//
+// A shard owns every page of the blocks assigned to it, so the paper's
+// batched cost semantics stay exact under concurrency: any flush or
+// batched fetch of a block happens entirely inside one shard's meter,
+// within one of that shard's time steps. Requests for a shard's pages are
+// serialized by the shard mutex; distinct shards share no mutable state
+// and serve fully in parallel. Per-request service latency (lock wait +
+// policy work) is folded into O(1)-memory P^2 quantile sketches under the
+// same lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/cache_set.hpp"
+#include "core/cost_meter.hpp"
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "util/stats.hpp"
+
+namespace bac::server {
+
+/// Counters and latency summaries copied out of a shard under its lock.
+struct ShardSnapshot {
+  long long requests = 0;
+  long long hits = 0;
+  long long misses = 0;
+  Cost eviction_cost = 0;
+  Cost fetch_cost = 0;
+  Cost classic_eviction_cost = 0;
+  Cost classic_fetch_cost = 0;
+  long long evict_block_events = 0;
+  long long fetch_block_events = 0;
+  long long evicted_pages = 0;
+  long long fetched_pages = 0;
+  int cached_pages = 0;
+  int capacity = 0;
+  double lat_p50_us = 0;  ///< P^2 estimate; 0 before any request
+  double lat_p99_us = 0;
+  double lat_mean_us = 0;
+  double lat_max_us = 0;
+
+  [[nodiscard]] Cost total_cost() const noexcept {
+    return eviction_cost + fetch_cost;
+  }
+};
+
+class CacheShard {
+ public:
+  /// `header` carries the full block map and this shard's capacity as its
+  /// k (requests empty, as for streaming sources); it must outlive the
+  /// shard — the ConcurrentCache coordinator owns it. The policy is
+  /// reset(header) then seed(seed) here, mirroring the simulator.
+  CacheShard(const Instance& header, std::unique_ptr<OnlinePolicy> policy,
+             std::uint64_t seed);
+
+  // CacheOps points into cache_/meter_; the shard must never move.
+  CacheShard(const CacheShard&) = delete;
+  CacheShard& operator=(const CacheShard&) = delete;
+
+  /// Serve one request; true on hit. Thread-safe. Audits the policy like
+  /// the simulator does: throws std::runtime_error if the requested page
+  /// is left uncached or the shard capacity is exceeded.
+  bool get(PageId p);
+
+  [[nodiscard]] ShardSnapshot snapshot() const;
+
+ private:
+  const Instance* header_;
+  std::unique_ptr<OnlinePolicy> policy_;
+  mutable std::mutex mutex_;
+  CacheSet cache_;
+  CostMeter meter_;
+  CacheOps ops_;
+  Time t_ = 0;
+  long long hits_ = 0;
+  long long misses_ = 0;
+  P2Quantile lat_p50_{0.50};
+  P2Quantile lat_p99_{0.99};
+  StreamingStats lat_us_;
+};
+
+}  // namespace bac::server

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <stdexcept>
@@ -18,15 +19,38 @@ struct Row {
   double size = 1.0;
 };
 
-bool numeric(const std::string& s) {
-  if (s.empty()) return false;
+bool numeric(const std::string& field) {
+  // Space-padded fields ("1, 4096") are common in hand-written and
+  // tool-exported CSVs; strtod accepted the leading whitespace, so the
+  // validation must keep doing so.
+  std::size_t lo = 0, hi = field.size();
+  while (lo < hi && (field[lo] == ' ' || field[lo] == '\t')) ++lo;
+  while (hi > lo && (field[hi - 1] == ' ' || field[hi - 1] == '\t')) --hi;
+  if (lo == hi) return false;
+  const std::string s = field.substr(lo, hi - lo);
+  // Plain decimal/scientific only. strtod also accepts "inf", "nan", and
+  // hex floats ("0x1p3"); none of those is a sane timestamp or object
+  // size, and letting them through turns one corrupt row into a silently
+  // skewed instance. The charset gate rejects them before parsing; the
+  // isfinite check catches overflow ("1e999" parses to +inf with ERANGE).
+  for (const char c : s) {
+    const bool ok = (c >= '0' && c <= '9') || c == '+' || c == '-' ||
+                    c == '.' || c == 'e' || c == 'E';
+    if (!ok) return false;
+  }
   char* end = nullptr;
   errno = 0;
-  std::strtod(s.c_str(), &end);
-  return errno == 0 && end == s.c_str() + s.size();
+  const double v = std::strtod(s.c_str(), &end);
+  return errno == 0 && end == s.c_str() + s.size() && std::isfinite(v);
 }
 
-bool parse_row(const std::string& line, const CsvOptions& opt, Row& row) {
+/// Parse one line. Non-data rows (headers, comments, ragged lines — i.e.
+/// anything whose timestamp column is not numeric) return false and are
+/// skipped. In strict mode, rows that *are* data rows but carry a
+/// malformed size field throw with the 1-based line number instead of
+/// silently coercing the size to 1.0.
+bool parse_row(const std::string& line, const CsvOptions& opt, Row& row,
+               long long line_no) {
   std::vector<std::string> fields;
   std::size_t start = 0;
   while (start <= line.size()) {
@@ -36,6 +60,10 @@ bool parse_row(const std::string& line, const CsvOptions& opt, Row& row) {
     if (pos == std::string::npos) break;
     start = pos + 1;
   }
+  // CRLF normalization: a Windows line ending would otherwise glue '\r'
+  // onto the last field (rejecting it as numeric or corrupting the key).
+  if (!fields.empty() && !fields.back().empty() && fields.back().back() == '\r')
+    fields.back().pop_back();
   // Only timestamp and key are required; the size column is optional
   // (two-column timestamp,key traces are valid, size defaults to 1).
   const auto need =
@@ -43,12 +71,22 @@ bool parse_row(const std::string& line, const CsvOptions& opt, Row& row) {
   if (fields.size() <= need) return false;
   if (!numeric(fields[static_cast<std::size_t>(opt.time_col)])) return false;
   row.key = fields[static_cast<std::size_t>(opt.key_col)];
-  if (row.key.empty()) return false;
+  if (row.key.empty()) {
+    if (opt.strict)
+      throw std::runtime_error("csv: empty key field at line " +
+                               std::to_string(line_no));
+    return false;
+  }
   row.size = 1.0;
   if (opt.size_col >= 0 &&
       static_cast<std::size_t>(opt.size_col) < fields.size()) {
     const std::string& s = fields[static_cast<std::size_t>(opt.size_col)];
-    if (numeric(s)) row.size = std::strtod(s.c_str(), nullptr);
+    if (numeric(s)) {
+      row.size = std::strtod(s.c_str(), nullptr);
+    } else if (opt.strict) {
+      throw std::runtime_error("csv: malformed size field '" + s +
+                               "' at line " + std::to_string(line_no));
+    }
   }
   return true;
 }
@@ -90,8 +128,10 @@ CsvMapping build_csv_mapping(const std::string& path,
 
   std::string line;
   Row row;
+  long long line_no = 0;
   while (std::getline(in, line)) {
-    if (!parse_row(line, options, row)) continue;
+    ++line_no;
+    if (!parse_row(line, options, row, line_no)) continue;
     ++rows;
     const auto [it, inserted] =
         key_to_page.try_emplace(row.key,
@@ -175,7 +215,8 @@ CsvSource::CsvSource(const std::string& path,
 bool CsvSource::next(PageId& p) {
   Row row;
   while (std::getline(in_, line_)) {
-    if (!parse_row(line_, options_, row)) continue;
+    ++line_no_;
+    if (!parse_row(line_, options_, row, line_no_)) continue;
     const auto it = map_->key_to_page.find(row.key);
     if (it == map_->key_to_page.end())
       throw std::runtime_error("csv: key '" + row.key + "' in " + path_ +
@@ -191,6 +232,7 @@ bool CsvSource::next(PageId& p) {
 void CsvSource::rewind() {
   in_.clear();
   in_.seekg(0);
+  line_no_ = 0;
   if (!in_) throw std::runtime_error("csv: rewind failed on " + path_);
 }
 

@@ -46,6 +46,13 @@ struct CsvOptions {
   int k = 0;               ///< cache size of the produced instances; must be set
   bool cost_from_size = false;  ///< block cost = mean object size / page size
   double page_bytes = 4096.0;   ///< size unit when cost_from_size
+  /// When true, data rows with a malformed size field or an empty key
+  /// raise std::runtime_error naming the 1-based line number, instead of
+  /// silently coercing the size to 1.0 / skipping the row. Rows whose
+  /// timestamp column is non-numeric are still skipped (headers,
+  /// comments). Timestamps and sizes must be finite plain decimals in
+  /// either mode: inf/nan/hex-float forms are rejected.
+  bool strict = false;
 };
 
 /// The key -> page translation plus the inferred block structure.
@@ -85,6 +92,7 @@ class CsvSource final : public RequestSource {
   std::ifstream in_;
   Instance header_;
   std::string line_;
+  long long line_no_ = 0;  ///< 1-based, for strict-mode diagnostics
 };
 
 /// Convenience: pass 1 + full materialization (small traces / tests).

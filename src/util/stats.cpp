@@ -33,6 +33,9 @@ double StreamingStats::ci95_halfwidth() const noexcept {
 }
 
 void StreamingStats::merge(const StreamingStats& other) noexcept {
+  // Both empty-side guards matter for min/max: an empty accumulator's
+  // min_/max_ fields are unset (the accessors report NaN), so they must
+  // never participate in the std::min/std::max below.
   if (other.count_ == 0) return;
   if (count_ == 0) {
     *this = other;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -18,8 +19,15 @@ class StreamingStats {
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   [[nodiscard]] double variance() const noexcept;
   [[nodiscard]] double stddev() const noexcept;
-  [[nodiscard]] double min() const noexcept { return min_; }
-  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Smallest observation; NaN before the first add() (a default of 0.0
+  /// would read as a real observation, e.g. a fake 0.0 minimum latency).
+  [[nodiscard]] double min() const noexcept {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  /// Largest observation; NaN before the first add().
+  [[nodiscard]] double max() const noexcept {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
   /// Half-width of an approximate 95% confidence interval for the mean.
   [[nodiscard]] double ci95_halfwidth() const noexcept;
 

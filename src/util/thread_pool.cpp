@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <stdexcept>
 
 namespace bac {
 
@@ -14,13 +15,22 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
+    if (stop_) return;  // already shut down (workers joined by that call)
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard lock(mutex_);
+  return stop_;
 }
 
 void ThreadPool::worker_loop() {
@@ -52,6 +62,11 @@ bool ThreadPool::try_run_one() {
 void ThreadPool::parallel_for_indexed(
     std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  // After shutdown size() is 0, so without this check the loop would run
+  // entirely (and silently) on the calling thread; surface the misuse
+  // with the same error submit() raises.
+  if (stopped())
+    throw std::runtime_error("ThreadPool: parallel_for_indexed after shutdown");
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;

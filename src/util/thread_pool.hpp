@@ -12,6 +12,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -28,7 +29,17 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Stop accepting work, drain already-queued tasks, and join the
+  /// workers. Idempotent; the destructor calls it. After shutdown,
+  /// submit() and parallel_for_indexed() throw instead of enqueueing
+  /// tasks no worker will ever run (whose futures would block forever).
+  void shutdown();
+
+  /// True once shutdown() has begun (no further submissions accepted).
+  [[nodiscard]] bool stopped() const;
+
   /// Enqueue a task; the future resolves with its result (or exception).
+  /// Throws std::runtime_error after shutdown().
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -36,6 +47,10 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mutex_);
+      if (stop_)
+        throw std::runtime_error(
+            "ThreadPool: submit after shutdown (the task would never run "
+            "and its future would block forever)");
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -46,7 +61,9 @@ class ThreadPool {
   /// task exception after all tasks finish. The calling thread joins the
   /// work and drains queued tasks while it waits, so nesting (a pool task
   /// that itself calls parallel_for_indexed — e.g. a sweep cell running a
-  /// parallel Monte-Carlo) cannot deadlock the pool.
+  /// parallel Monte-Carlo) cannot deadlock the pool. Throws
+  /// std::runtime_error after shutdown() (it will not silently fall back
+  /// to serial execution on a dead pool).
   void parallel_for_indexed(std::size_t count,
                             const std::function<void(std::size_t)>& fn);
 
@@ -58,7 +75,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

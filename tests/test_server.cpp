@@ -1,0 +1,249 @@
+// Concurrency suite for the sharded data-plane (src/server): sharding
+// invariants, single-shard equivalence with the simulator, thread-count
+// invariance of the total block-aware cost under shard-partitioned
+// dispatch, and a contended multi-thread stress run (the CI TSan job
+// replays this suite via the `concurrency` label).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "algs/classical/classical.hpp"
+#include "algs/det_online.hpp"
+#include "core/request_source.hpp"
+#include "core/simulator.hpp"
+#include "server/concurrent_cache.hpp"
+#include "server/dispatch.hpp"
+
+namespace bac {
+namespace {
+
+using server::CacheShard;
+using server::ConcurrentCache;
+using server::ServerStats;
+using server::ShardSnapshot;
+
+std::vector<PageId> materialize(RequestSource& source) {
+  std::vector<PageId> out;
+  PageId p = 0;
+  while (source.next(p)) out.push_back(p);
+  return out;
+}
+
+/// Small zipf workload: 256 pages in blocks of 4, k = 32, 20k requests.
+struct Workload {
+  Instance inst;
+  std::vector<PageId> requests;
+};
+
+Workload zipf_workload(long long T = 20000) {
+  auto src = SyntheticSource::zipf(256, 4, 32, T, 0.9, 7);
+  std::vector<PageId> requests = materialize(*src);
+  Instance inst{src->context().blocks, requests, src->context().k};
+  return {std::move(inst), std::move(requests)};
+}
+
+/// Minimal correct online policy whose clone() stays nullptr.
+class NonCloneablePolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "NonCloneable"; }
+  void reset(const Instance&) override {}
+  void on_request(Time, PageId p, CacheOps& cache) override {
+    cache.fetch(p);
+    while (cache.size() > cache.capacity()) {
+      for (PageId q : cache.pages()) {
+        if (q != p) {
+          cache.evict(q);
+          break;
+        }
+      }
+    }
+  }
+};
+
+TEST(ConcurrentCache, BlocksNeverStraddleShards) {
+  const Workload w = zipf_workload(1);
+  ConcurrentCache cache(w.inst, LruPolicy(), 5);
+  const BlockMap& blocks = w.inst.blocks;
+  for (BlockId b = 0; b < blocks.n_blocks(); ++b) {
+    std::set<int> owners;
+    for (PageId p : blocks.pages_in(b)) owners.insert(cache.shard_of(p));
+    EXPECT_EQ(owners.size(), 1u) << "block " << b << " straddles shards";
+  }
+}
+
+TEST(ConcurrentCache, CapacitiesSumToTotalAndRespectBeta) {
+  const Workload w = zipf_workload(1);
+  for (const int shards : {1, 2, 3, 7, 8}) {
+    ConcurrentCache cache(w.inst, LruPolicy(), shards);
+    int total = 0;
+    for (int s = 0; s < cache.n_shards(); ++s) {
+      const ShardSnapshot snap = cache.shard_snapshot(s);
+      EXPECT_GE(snap.capacity, w.inst.blocks.beta());
+      total += snap.capacity;
+    }
+    EXPECT_EQ(total, w.inst.k) << "shards=" << shards;
+  }
+}
+
+TEST(ConcurrentCache, MaxShardsKeepsPerShardCapacityFeasible) {
+  const Workload w = zipf_workload(1);
+  const int max = ConcurrentCache::max_shards(w.inst);
+  EXPECT_EQ(max, w.inst.k / w.inst.blocks.beta());
+  ConcurrentCache ok(w.inst, LruPolicy(), max);  // must construct
+  EXPECT_EQ(ok.n_shards(), max);
+  EXPECT_THROW(ConcurrentCache(w.inst, LruPolicy(), max + 1),
+               std::invalid_argument);
+}
+
+TEST(ConcurrentCache, RejectsBadConfigs) {
+  const Workload w = zipf_workload(1);
+  EXPECT_THROW(ConcurrentCache(w.inst, LruPolicy(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(ConcurrentCache(w.inst, BeladyPolicy(), 1),
+               std::invalid_argument)
+      << "offline policies cannot serve a live stream";
+  EXPECT_THROW(ConcurrentCache(w.inst, NonCloneablePolicy(), 2),
+               std::invalid_argument);
+}
+
+TEST(ConcurrentCache, RejectsOutOfRangePages) {
+  const Workload w = zipf_workload(1);
+  ConcurrentCache cache(w.inst, LruPolicy(), 2);
+  EXPECT_THROW(cache.get(-1), std::out_of_range);
+  EXPECT_THROW(cache.get(w.inst.n_pages()), std::out_of_range);
+  EXPECT_THROW((void)cache.shard_of(w.inst.n_pages()), std::out_of_range);
+}
+
+// With a single shard the data-plane is the simulator's serve loop behind
+// a mutex: same policy, same order, same meter — costs must match exactly.
+TEST(ConcurrentCache, SingleShardMatchesSimulator) {
+  const Workload w = zipf_workload();
+  for (const auto& make : {+[]() -> std::unique_ptr<OnlinePolicy> {
+                             return std::make_unique<LruPolicy>();
+                           },
+                           +[]() -> std::unique_ptr<OnlinePolicy> {
+                             return std::make_unique<DetOnlineBlockAware>();
+                           },
+                           +[]() -> std::unique_ptr<OnlinePolicy> {
+                             return std::make_unique<BlockLruPolicy>(false);
+                           }}) {
+    const auto policy = make();
+    SimOptions options;
+    options.seed = 1;
+    const RunResult expected = simulate(w.inst, *policy, options);
+
+    ConcurrentCache cache(w.inst, *policy, 1, 1);
+    for (const PageId p : w.requests) cache.get(p);
+    const ServerStats stats = cache.stats();
+    EXPECT_EQ(stats.requests, expected.requests);
+    EXPECT_EQ(stats.misses, expected.misses);
+    EXPECT_EQ(stats.eviction_cost, expected.eviction_cost);
+    EXPECT_EQ(stats.fetch_cost, expected.fetch_cost);
+    EXPECT_EQ(stats.evict_block_events, expected.evict_block_events);
+    EXPECT_EQ(stats.fetch_block_events, expected.fetch_block_events);
+  }
+}
+
+// The determinism contract of the data-plane: shard-partitioned dispatch
+// produces bit-identical totals at every thread count.
+TEST(ConcurrentCache, PartitionedDispatchIsThreadCountInvariant) {
+  const Workload w = zipf_workload();
+  const int shards = 8;
+  ServerStats baseline;
+  bool have_baseline = false;
+  for (const int threads : {1, 2, 5, 8}) {
+    ConcurrentCache cache(w.inst, LruPolicy(), shards, 42);
+    server::serve_partitioned(cache, w.requests, threads);
+    const ServerStats stats = cache.stats();
+    EXPECT_EQ(stats.requests,
+              static_cast<long long>(w.requests.size()));
+    if (!have_baseline) {
+      baseline = stats;
+      have_baseline = true;
+      continue;
+    }
+    EXPECT_EQ(stats.eviction_cost, baseline.eviction_cost)
+        << "threads=" << threads;
+    EXPECT_EQ(stats.fetch_cost, baseline.fetch_cost) << "threads=" << threads;
+    EXPECT_EQ(stats.hits, baseline.hits) << "threads=" << threads;
+    EXPECT_EQ(stats.misses, baseline.misses) << "threads=" << threads;
+    EXPECT_EQ(stats.evict_block_events, baseline.evict_block_events);
+    EXPECT_EQ(stats.fetch_block_events, baseline.fetch_block_events);
+    EXPECT_EQ(stats.evicted_pages, baseline.evicted_pages);
+    EXPECT_EQ(stats.fetched_pages, baseline.fetched_pages);
+  }
+}
+
+// Contended stress: chunked dispatch hits every shard from every worker.
+// The interleaving is nondeterministic, but conservation laws are not:
+// every request is served exactly once, capacity is never exceeded, and
+// the aggregate equals the sum of the shard snapshots. Under the CI TSan
+// build this doubles as the data-race check on the shard locking.
+TEST(ConcurrentCache, ChunkedStressKeepsInvariants) {
+  const Workload w = zipf_workload(30000);
+  ConcurrentCache cache(w.inst, LruPolicy(), 4, 11);
+  server::serve_chunked(cache, w.requests, 8);
+
+  long long requests = 0, hits = 0;
+  Cost evict = 0, fetch = 0;
+  for (int s = 0; s < cache.n_shards(); ++s) {
+    const ShardSnapshot snap = cache.shard_snapshot(s);
+    EXPECT_LE(snap.cached_pages, snap.capacity);
+    EXPECT_EQ(snap.requests, snap.hits + snap.misses);
+    requests += snap.requests;
+    hits += snap.hits;
+    evict += snap.eviction_cost;
+    fetch += snap.fetch_cost;
+  }
+  EXPECT_EQ(requests, static_cast<long long>(w.requests.size()));
+
+  const ServerStats stats = cache.stats();
+  EXPECT_EQ(stats.requests, requests);
+  EXPECT_EQ(stats.hits, hits);
+  EXPECT_EQ(stats.eviction_cost, evict);
+  EXPECT_EQ(stats.fetch_cost, fetch);
+  EXPECT_EQ(stats.total_cost(), evict + fetch);
+}
+
+TEST(ConcurrentCache, LatencySketchesPopulate) {
+  const Workload w = zipf_workload(2000);
+  ConcurrentCache cache(w.inst, LruPolicy(), 4);
+  server::serve_partitioned(cache, w.requests, 2);
+  const ServerStats stats = cache.stats();
+  EXPECT_GT(stats.lat_max_us, 0.0);
+  EXPECT_GE(stats.lat_p99_us, 0.0);
+  EXPECT_GE(stats.lat_p50_us, 0.0);
+  EXPECT_GE(stats.lat_max_us, stats.lat_mean_us);
+}
+
+TEST(ConcurrentCache, EmptyCacheReportsZeroedStats) {
+  const Workload w = zipf_workload(1);
+  ConcurrentCache cache(w.inst, LruPolicy(), 3);
+  const ServerStats stats = cache.stats();
+  EXPECT_EQ(stats.requests, 0);
+  EXPECT_EQ(stats.total_cost(), 0.0);
+  EXPECT_EQ(stats.lat_p50_us, 0.0);  // no fake 0-latency observations
+  EXPECT_EQ(stats.lat_max_us, 0.0);
+}
+
+// Randomized policies: per-shard seeds are (seed + shard), independent of
+// the dispatch, so even Marking is thread-count invariant under
+// partitioned dispatch.
+TEST(ConcurrentCache, RandomizedPolicyStillThreadCountInvariant) {
+  const Workload w = zipf_workload(10000);
+  Cost baseline = -1;
+  for (const int threads : {1, 4}) {
+    ConcurrentCache cache(w.inst, MarkingPolicy(), 4, 99);
+    server::serve_partitioned(cache, w.requests, threads);
+    const Cost total = cache.stats().total_cost();
+    if (baseline < 0)
+      baseline = total;
+    else
+      EXPECT_EQ(total, baseline);
+  }
+}
+
+}  // namespace
+}  // namespace bac

@@ -114,7 +114,10 @@ TEST_F(TraceFormats, BactRoundTripIsBitIdenticalForEveryWorkload) {
 TEST_F(TraceFormats, TextRoundTripIsBitIdenticalForEveryWorkload) {
   int wi = 0;
   for (const Instance& inst : generator_workloads()) {
-    const std::string file = path("w" + std::to_string(wi++) + ".txt");
+    // append() instead of operator+ dodges GCC 12's -Wrestrict false
+    // positive on `const char* + std::string&&` under heavy inlining.
+    const std::string file =
+        path(std::string("w").append(std::to_string(wi++)).append(".txt"));
     save_instance(inst, file);
     for (const auto& proto : equivalence_policies()) {
       const auto direct_policy = proto->clone();
@@ -307,6 +310,132 @@ TEST_F(CsvTrace, SizeColumnIsOptional) {
   const CsvMapping mapping = build_csv_mapping(file, options);
   EXPECT_EQ(mapping.rows, 3);
   EXPECT_EQ(mapping.key_to_page.size(), 2u);
+}
+
+TEST_F(CsvTrace, RejectsNonFiniteAndHexFloatFields) {
+  // Regression: strtod-based parsing accepted "inf"/"nan"/hex-float
+  // timestamps as numeric, turning corrupt rows into data rows, and
+  // coerced non-finite sizes into instance structure.
+  const std::string file = path("corrupt.csv");
+  {
+    std::ofstream out(file);
+    out << "inf,666,4096\n";    // non-finite timestamp: not a data row
+    out << "nan,667,4096\n";    // ditto
+    out << "0x1p3,668,4096\n";  // hex-float timestamp: not a data row
+    out << "1e999,669,4096\n";  // overflows to +inf: not a data row
+    out << "1,10,4096\n2,11,4096\n";
+  }
+  CsvOptions options;
+  options.block_pages = 2;
+  options.k = 2;
+  const CsvMapping mapping = build_csv_mapping(file, options);
+  EXPECT_EQ(mapping.rows, 2);  // only the two well-formed rows survive
+  EXPECT_EQ(mapping.key_to_page.count("666"), 0u);
+  EXPECT_EQ(mapping.key_to_page.count("668"), 0u);
+}
+
+TEST_F(CsvTrace, ToleratesSpacePaddingAndCrlfLineEndings) {
+  // strtod skipped leading whitespace, so space-padded fields have
+  // always been data rows; the finite-decimal gate must keep accepting
+  // them, and a CRLF file must not glue '\r' onto the last field.
+  const std::string file = path("padded.csv");
+  {
+    std::ofstream out(file);
+    out << "1, 10, 4096\r\n";
+    out << " 2,11,4096\r\n";
+    out << "3,12, 8192\n";
+  }
+  CsvOptions options;
+  options.block_pages = 4;
+  options.k = 4;
+  options.strict = true;  // '\r' in the size field would throw here
+  const CsvMapping mapping = build_csv_mapping(file, options);
+  EXPECT_EQ(mapping.rows, 3);
+  EXPECT_EQ(mapping.key_to_page.size(), 3u);
+  // The key field itself is not trimmed (keys are opaque): ' 10' != '11'.
+  EXPECT_EQ(mapping.key_to_page.count("11"), 1u);
+}
+
+TEST_F(CsvTrace, NonFiniteSizesFallBackToUnitSize) {
+  const std::string file = path("badsize.csv");
+  {
+    std::ofstream out(file);
+    out << "1,10,inf\n2,10,nan\n3,10,4096\n";
+  }
+  CsvOptions options;
+  options.block_pages = 2;
+  options.k = 2;
+  options.cost_from_size = true;
+  options.page_bytes = 1.0;
+  const CsvMapping mapping = build_csv_mapping(file, options);
+  EXPECT_EQ(mapping.rows, 3);
+  // inf/nan sizes coerce to 1.0 (lax mode): mean = (1 + 1 + 4096) / 3.
+  const BlockId b = mapping.blocks.block_of(mapping.key_to_page.at("10"));
+  EXPECT_DOUBLE_EQ(mapping.blocks.cost(b), (1.0 + 1.0 + 4096.0) / 3.0);
+}
+
+TEST_F(CsvTrace, StrictModeReportsOffendingRowNumber) {
+  const std::string file = path("strict.csv");
+  {
+    std::ofstream out(file);
+    out << "timestamp,key,size\n";  // header: still skipped in strict mode
+    out << "1,10,4096\n";
+    out << "2,11,oops\n";  // malformed size on line 3
+  }
+  CsvOptions options;
+  options.block_pages = 2;
+  options.k = 2;
+  options.strict = true;
+  try {
+    build_csv_mapping(file, options);
+    FAIL() << "strict mode should reject the malformed size field";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+
+  // The same trace parses in lax mode (size coerced to 1.0)...
+  options.strict = false;
+  const CsvMapping lax = build_csv_mapping(file, options);
+  EXPECT_EQ(lax.rows, 2);
+
+  // ...and strict mode also rejects empty keys, with the row number.
+  const std::string nokey = path("nokey.csv");
+  {
+    std::ofstream out(nokey);
+    out << "1,10,4096\n2,,4096\n";
+  }
+  options.strict = true;
+  try {
+    build_csv_mapping(nokey, options);
+    FAIL() << "strict mode should reject the empty key";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+TEST_F(CsvTrace, StrictStreamingSourceReportsRowNumberAfterRewind) {
+  const std::string file = path("stream_strict.csv");
+  {
+    std::ofstream out(file);
+    out << "1,10,4096\n2,11,4096\n";
+  }
+  CsvOptions options;
+  options.block_pages = 2;
+  options.k = 2;
+  options.strict = true;
+  auto mapping = std::make_shared<const CsvMapping>(
+      build_csv_mapping(file, options));
+  CsvSource src(file, mapping, options);
+  PageId p = 0;
+  int n = 0;
+  while (src.next(p)) ++n;
+  EXPECT_EQ(n, 2);
+  src.rewind();  // line counter must restart with the stream
+  n = 0;
+  while (src.next(p)) ++n;
+  EXPECT_EQ(n, 2);
 }
 
 TEST_F(CsvTrace, CostFromSizeScalesBlockCosts) {

@@ -86,6 +86,40 @@ TEST(Stats, WelfordMatchesClosedForm) {
   EXPECT_DOUBLE_EQ(s.max(), 6);
 }
 
+TEST(Stats, EmptyMinMaxAreNaNNotZero) {
+  // Regression: an empty accumulator reported min() == max() == 0.0,
+  // which read as a real observation (e.g. a fake 0.0 minimum latency).
+  StreamingStats s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(-2.5);
+  EXPECT_DOUBLE_EQ(s.min(), -2.5);
+  EXPECT_DOUBLE_EQ(s.max(), -2.5);
+}
+
+TEST(Stats, MergeWithEmptySidesPreservesExtremes) {
+  StreamingStats full;
+  full.add(3.0);
+  full.add(-1.0);
+
+  StreamingStats lhs = full, empty;
+  lhs.merge(empty);  // empty-into-nonempty must not disturb min/max
+  EXPECT_EQ(lhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(lhs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(lhs.max(), 3.0);
+
+  StreamingStats rhs;
+  rhs.merge(full);  // nonempty-into-empty adopts the other side wholesale
+  EXPECT_EQ(rhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(rhs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rhs.max(), 3.0);
+
+  StreamingStats both;
+  both.merge(StreamingStats{});  // empty-into-empty stays empty
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_TRUE(std::isnan(both.min()));
+}
+
 TEST(Stats, MergeEqualsConcatenation) {
   Xoshiro256pp rng(9);
   StreamingStats all, a, b;
@@ -149,6 +183,38 @@ TEST(ThreadPool, SubmitReturnsValue) {
   ThreadPool pool(2);
   auto f = pool.submit([] { return 41 + 1; });
   EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  // Regression: submit() on a stopped pool used to enqueue a task no
+  // worker would ever run, so the returned future blocked forever.
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownThrows) {
+  // Must not silently fall back to serial execution on a dead pool.
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for_indexed(4, [&](std::size_t) { ran++; }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWorkAndIsIdempotent) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 8; ++i)
+    futs.push_back(pool.submit([&] { done++; }));
+  pool.shutdown();
+  for (auto& f : futs) f.get();  // all queued tasks ran before the join
+  EXPECT_EQ(done.load(), 8);
+  pool.shutdown();  // second call is a no-op
+  EXPECT_EQ(pool.size(), 0u);
 }
 
 }  // namespace

@@ -30,6 +30,7 @@
 #include <sys/resource.h>
 
 #include "algs/zoo.hpp"
+#include "cli.hpp"
 #include "driver/sweep.hpp"
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
@@ -57,19 +58,6 @@ void usage(const char* argv0) {
       "  --mrc        attach the LRU miss-ratio curve at the swept k values\n"
       "  --json       stream one record per grid cell (default sweep.json)\n",
       argv0);
-}
-
-std::vector<std::string> split_list(const std::string& s) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= s.size()) {
-    const std::size_t pos = s.find(',', start);
-    const std::size_t end = pos == std::string::npos ? s.size() : pos;
-    if (end > start) out.push_back(s.substr(start, end - start));
-    if (pos == std::string::npos) break;
-    start = pos + 1;
-  }
-  return out;
 }
 
 /// Streams the bench_main JSON schema cell by cell: header upfront,
@@ -166,44 +154,19 @@ int run(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
-        std::exit(2);
-      }
-      return argv[++i];
+    auto value = [&](const char* flag) {
+      return bac::cli::flag_value(argc, argv, i, flag);
     };
-    auto numeric = [&](const char* flag,
-                       unsigned long long max) -> unsigned long long {
-      const char* s = value(flag);
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long long v = std::strtoull(s, &end, 10);
-      if (end == s || *end != '\0' || errno == ERANGE || v > max) {
-        std::fprintf(stderr, "%s: %s wants an integer in [0, %llu], got '%s'\n",
-                     argv[0], flag, max, s);
-        std::exit(2);
-      }
-      return v;
+    auto numeric = [&](const char* flag, unsigned long long max) {
+      return bac::cli::flag_u64(argc, argv, i, flag, max);
     };
     if (arg == "--policies") {
-      config.policies = split_list(value("--policies"));
+      config.policies = bac::cli::split_list(value("--policies"));
     } else if (arg == "--workloads") {
-      config.workloads = split_list(value("--workloads"));
+      config.workloads = bac::cli::split_list(value("--workloads"));
     } else if (arg == "--k") {
-      for (const std::string& k : split_list(value("--k"))) {
-        char* end = nullptr;
-        errno = 0;
-        const long long v = std::strtoll(k.c_str(), &end, 10);
-        if (end == k.c_str() || *end != '\0' || errno == ERANGE || v <= 0 ||
-            v > (1 << 30)) {
-          std::fprintf(stderr,
-                       "%s: --k wants positive integers, got '%s'\n",
-                       argv[0], k.c_str());
-          return 2;
-        }
-        config.ks.push_back(static_cast<int>(v));
-      }
+      config.ks = bac::cli::split_positive_ints(argv[0], value("--k"), "--k",
+                                                1 << 30);
     } else if (arg == "--n") {
       config.n = static_cast<int>(numeric("--n", 1u << 30));
     } else if (arg == "--beta") {

@@ -1,0 +1,75 @@
+// Flag-parsing plumbing shared by the tools/ binaries (bacsim, bacload):
+// comma-list splitting and validated integer flag values. Kept header-only
+// and tool-local — the library proper has no CLI surface.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace bac::cli {
+
+/// Split a comma-separated list, dropping empty items.
+inline std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find(',', start);
+    const std::size_t end = pos == std::string::npos ? s.size() : pos;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+/// The value following argv[i] (advances i); exits 2 when missing.
+inline const char* flag_value(int argc, char** argv, int& i,
+                              const char* flag) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+/// The flag's value parsed as an integer in [0, max]; exits 2 on junk.
+inline unsigned long long flag_u64(int argc, char** argv, int& i,
+                                   const char* flag,
+                                   unsigned long long max) {
+  const char* s = flag_value(argc, argv, i, flag);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v > max) {
+    std::fprintf(stderr, "%s: %s wants an integer in [0, %llu], got '%s'\n",
+                 argv[0], flag, max, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// A comma list of integers in [1, max]; exits 2 on junk.
+inline std::vector<int> split_positive_ints(const char* argv0,
+                                            const std::string& s,
+                                            const char* flag, long long max) {
+  std::vector<int> out;
+  for (const std::string& item : split_list(s)) {
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0' || errno == ERANGE || v <= 0 ||
+        v > max) {
+      std::fprintf(stderr,
+                   "%s: %s wants positive integers <= %lld, got '%s'\n",
+                   argv0, flag, max, item.c_str());
+      std::exit(2);
+    }
+    out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+}  // namespace bac::cli
