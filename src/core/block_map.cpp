@@ -5,36 +5,49 @@
 
 namespace bac {
 
+BlockMap::BlockMap() {
+  static const std::shared_ptr<const Data> empty = std::make_shared<Data>(
+      Data{{}, {}, {}, std::vector<std::size_t>{0}, 0, 0, 0, 0});
+  data_ = empty;
+}
+
 BlockMap::BlockMap(std::vector<BlockId> page_to_block,
-                   std::vector<Cost> block_costs)
-    : page_to_block_(std::move(page_to_block)),
-      block_costs_(std::move(block_costs)) {
-  if (block_costs_.empty()) throw std::invalid_argument("BlockMap: no blocks");
-  const auto n_blocks = block_costs_.size();
-  for (Cost c : block_costs_)
+                   std::vector<Cost> block_costs) {
+  auto data = std::make_shared<Data>();
+  data->page_to_block = std::move(page_to_block);
+  data->block_costs = std::move(block_costs);
+  if (data->block_costs.empty())
+    throw std::invalid_argument("BlockMap: no blocks");
+  const auto n_blocks = data->block_costs.size();
+  for (Cost c : data->block_costs)
     if (!(c > 0)) throw std::invalid_argument("BlockMap: costs must be > 0");
 
   std::vector<std::size_t> sizes(n_blocks, 0);
-  for (BlockId b : page_to_block_) {
+  for (BlockId b : data->page_to_block) {
     if (b < 0 || static_cast<std::size_t>(b) >= n_blocks)
       throw std::invalid_argument("BlockMap: page assigned to invalid block");
     ++sizes[static_cast<std::size_t>(b)];
   }
 
-  block_offsets_.assign(n_blocks + 1, 0);
+  data->block_offsets.assign(n_blocks + 1, 0);
   for (std::size_t b = 0; b < n_blocks; ++b)
-    block_offsets_[b + 1] = block_offsets_[b] + sizes[b];
-  block_pages_.resize(page_to_block_.size());
-  std::vector<std::size_t> cursor(block_offsets_.begin(),
-                                  block_offsets_.end() - 1);
-  for (PageId p = 0; p < n_pages(); ++p)
-    block_pages_[cursor[static_cast<std::size_t>(page_to_block_[static_cast<std::size_t>(p)])]++] = p;
+    data->block_offsets[b + 1] = data->block_offsets[b] + sizes[b];
+  data->block_pages.resize(data->page_to_block.size());
+  std::vector<std::size_t> cursor(data->block_offsets.begin(),
+                                  data->block_offsets.end() - 1);
+  const int n = static_cast<int>(data->page_to_block.size());
+  for (PageId p = 0; p < n; ++p)
+    data->block_pages[cursor[static_cast<std::size_t>(
+        data->page_to_block[static_cast<std::size_t>(p)])]++] = p;
 
-  beta_ = static_cast<int>(*std::max_element(sizes.begin(), sizes.end()));
-  min_cost_ = *std::min_element(block_costs_.begin(), block_costs_.end());
-  max_cost_ = *std::max_element(block_costs_.begin(), block_costs_.end());
-  total_cost_ = 0;
-  for (Cost c : block_costs_) total_cost_ += c;
+  data->beta = static_cast<int>(*std::max_element(sizes.begin(), sizes.end()));
+  data->min_cost =
+      *std::min_element(data->block_costs.begin(), data->block_costs.end());
+  data->max_cost =
+      *std::max_element(data->block_costs.begin(), data->block_costs.end());
+  data->total_cost = 0;
+  for (Cost c : data->block_costs) data->total_cost += c;
+  data_ = std::move(data);
 }
 
 BlockMap BlockMap::contiguous(int n_pages, int block_size, Cost cost) {

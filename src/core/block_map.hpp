@@ -4,8 +4,15 @@
 // (or evicting) any non-empty subset of one block in one time step costs the
 // block's cost c_B once (Section 2 of the paper). The weighted setting
 // (per-block costs, aspect ratio Delta) is supported throughout.
+//
+// A BlockMap is immutable after construction and holds its data behind a
+// shared handle, so copies are O(1) reference bumps rather than O(n_pages)
+// vector clones. Every Instance header derived from the same trace (k-sweep
+// overrides, per-shard server headers, streaming-source contexts) therefore
+// shares one physical block structure.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -15,6 +22,11 @@ namespace bac {
 
 class BlockMap {
  public:
+  /// Empty placeholder (0 pages, 0 blocks) so aggregates like Instance are
+  /// default-constructible; Instance::validate() rejects it (k <= 0 or a
+  /// request to a nonexistent page) before any simulation touches it.
+  BlockMap();
+
   /// Build from an explicit page -> block assignment and per-block costs.
   /// Requires every block id in [0, block_costs.size()) and positive costs.
   BlockMap(std::vector<BlockId> page_to_block, std::vector<Cost> block_costs);
@@ -29,39 +41,56 @@ class BlockMap {
                                       std::vector<Cost> block_costs);
 
   [[nodiscard]] int n_pages() const noexcept {
-    return static_cast<int>(page_to_block_.size());
+    return static_cast<int>(data_->page_to_block.size());
   }
   [[nodiscard]] int n_blocks() const noexcept {
-    return static_cast<int>(block_costs_.size());
+    return static_cast<int>(data_->block_costs.size());
   }
-  [[nodiscard]] BlockId block_of(PageId p) const { return page_to_block_[static_cast<std::size_t>(p)]; }
-  [[nodiscard]] Cost cost(BlockId b) const { return block_costs_[static_cast<std::size_t>(b)]; }
+  [[nodiscard]] BlockId block_of(PageId p) const {
+    return data_->page_to_block[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] Cost cost(BlockId b) const {
+    return data_->block_costs[static_cast<std::size_t>(b)];
+  }
   [[nodiscard]] std::span<const PageId> pages_in(BlockId b) const {
-    const auto begin = block_offsets_[static_cast<std::size_t>(b)];
-    const auto end = block_offsets_[static_cast<std::size_t>(b) + 1];
-    return {block_pages_.data() + begin, block_pages_.data() + end};
+    const auto begin = data_->block_offsets[static_cast<std::size_t>(b)];
+    const auto end = data_->block_offsets[static_cast<std::size_t>(b) + 1];
+    return {data_->block_pages.data() + begin,
+            data_->block_pages.data() + end};
   }
   [[nodiscard]] int block_size(BlockId b) const {
     return static_cast<int>(pages_in(b).size());
   }
 
   /// beta: the maximum block size.
-  [[nodiscard]] int beta() const noexcept { return beta_; }
-  [[nodiscard]] Cost min_cost() const noexcept { return min_cost_; }
-  [[nodiscard]] Cost max_cost() const noexcept { return max_cost_; }
+  [[nodiscard]] int beta() const noexcept { return data_->beta; }
+  [[nodiscard]] Cost min_cost() const noexcept { return data_->min_cost; }
+  [[nodiscard]] Cost max_cost() const noexcept { return data_->max_cost; }
   /// Delta = c_max / c_min.
   [[nodiscard]] double aspect_ratio() const noexcept {
-    return max_cost_ / min_cost_;
+    return data_->max_cost / data_->min_cost;
   }
-  [[nodiscard]] Cost total_block_cost() const noexcept { return total_cost_; }
+  [[nodiscard]] Cost total_block_cost() const noexcept {
+    return data_->total_cost;
+  }
+
+  /// True when `other` is a copy sharing this map's physical data (the
+  /// k-sweep and the sharded server rely on copies being O(1); tests
+  /// assert it through this).
+  [[nodiscard]] bool shares_structure(const BlockMap& other) const noexcept {
+    return data_ == other.data_;
+  }
 
  private:
-  std::vector<BlockId> page_to_block_;
-  std::vector<Cost> block_costs_;
-  std::vector<PageId> block_pages_;        // pages grouped by block
-  std::vector<std::size_t> block_offsets_; // n_blocks + 1 offsets into block_pages_
-  int beta_ = 0;
-  Cost min_cost_ = 0, max_cost_ = 0, total_cost_ = 0;
+  struct Data {
+    std::vector<BlockId> page_to_block;
+    std::vector<Cost> block_costs;
+    std::vector<PageId> block_pages;        // pages grouped by block
+    std::vector<std::size_t> block_offsets; // n_blocks + 1 offsets
+    int beta = 0;
+    Cost min_cost = 0, max_cost = 0, total_cost = 0;
+  };
+  std::shared_ptr<const Data> data_;
 };
 
 }  // namespace bac

@@ -58,6 +58,8 @@ std::unique_ptr<SyntheticSource> SyntheticSource::phased(
     int ws_size, std::uint64_t seed) {
   if (phase_len <= 0)
     throw std::invalid_argument("SyntheticSource: phase_len must be positive");
+  if (ws_size <= 0)
+    throw std::invalid_argument("SyntheticSource: ws_size must be positive");
   auto src = std::unique_ptr<SyntheticSource>(
       new SyntheticSource(Kind::Phased, n_pages, block_size, k, T, seed));
   src->phase_len_ = phase_len;

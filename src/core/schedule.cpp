@@ -1,12 +1,13 @@
 #include "core/schedule.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace bac {
 
-ScheduleCost evaluate(const Instance& inst, const Schedule& sched) {
+ReplayResult replay_schedule(const Instance& inst, const Schedule& sched) {
   inst.validate();
-  ScheduleCost out;
+  ReplayResult out;
   if (sched.horizon() != inst.horizon()) {
     out.feasible = false;
     out.infeasibility = "schedule horizon mismatch";
@@ -39,6 +40,24 @@ ScheduleCost evaluate(const Instance& inst, const Schedule& sched) {
   }
   out.eviction_cost = meter.eviction_cost();
   out.fetch_cost = meter.fetch_cost();
+  out.classic_eviction_cost = meter.classic_eviction_cost();
+  out.classic_fetch_cost = meter.classic_fetch_cost();
+  out.evict_block_events = meter.evict_block_events();
+  out.fetch_block_events = meter.fetch_block_events();
+  out.evicted_pages = meter.evicted_pages();
+  out.fetched_pages = meter.fetched_pages();
+  out.final_cache = cache.pages();
+  std::sort(out.final_cache.begin(), out.final_cache.end());
+  return out;
+}
+
+ScheduleCost evaluate(const Instance& inst, const Schedule& sched) {
+  const ReplayResult r = replay_schedule(inst, sched);
+  ScheduleCost out;
+  out.eviction_cost = r.eviction_cost;
+  out.fetch_cost = r.fetch_cost;
+  out.feasible = r.feasible;
+  out.infeasibility = r.infeasibility;
   return out;
 }
 

@@ -38,6 +38,31 @@ struct ScheduleCost {
 /// Replay `sched` on `inst`, return batched costs and feasibility.
 ScheduleCost evaluate(const Instance& inst, const Schedule& sched);
 
+/// Full accounting of a schedule replay: everything the simulator's meter
+/// reports for a live run, plus the final cache contents. A schedule
+/// captured by SimOptions::record_schedule replayed through this must
+/// reproduce the live run's final state exactly, and its costs exactly
+/// whenever the capture netted out no fetch+evict transients
+/// (RunResult::capture_cancellations == 0) — the verify subsystem's
+/// schedule-replay oracle checks both.
+struct ReplayResult {
+  Cost eviction_cost = 0;
+  Cost fetch_cost = 0;
+  Cost classic_eviction_cost = 0;
+  Cost classic_fetch_cost = 0;
+  long long evict_block_events = 0;
+  long long fetch_block_events = 0;
+  long long evicted_pages = 0;
+  long long fetched_pages = 0;
+  bool feasible = true;
+  std::string infeasibility;       ///< first violation, for diagnostics
+  std::vector<PageId> final_cache; ///< cached pages after the last step, sorted
+};
+
+/// Replay `sched` on `inst` through the same CostMeter accounting as a
+/// live simulate() run (evictions before fetches within each step).
+ReplayResult replay_schedule(const Instance& inst, const Schedule& sched);
+
 /// Adapter: replay a schedule as an OnlinePolicy (for the simulator and
 /// for head-to-head tables that mix online and offline algorithms).
 class SchedulePolicy final : public OnlinePolicy {

@@ -1,5 +1,6 @@
 #include "core/simulator.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -114,6 +115,12 @@ RunResult simulate(RequestSource& source, OnlinePolicy& policy,
   }
 
   result.requests = served;
+  result.cached_pages = cache.size();
+  if (options.record_schedule) {
+    result.final_cache = cache.pages();
+    std::sort(result.final_cache.begin(), result.final_cache.end());
+    result.capture_cancellations = ops.capture_cancellations();
+  }
   if (options.record_sketch) {
     result.step_cost_p50 = p50.value();
     result.step_cost_p90 = p90.value();

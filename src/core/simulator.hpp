@@ -46,6 +46,16 @@ struct RunResult {
   long long requests = 0;///< requests served (streams may not know upfront)
   long long misses = 0;  ///< requests not already cached
   int violations = 0;    ///< feasibility repairs (0 for a correct policy)
+  int cached_pages = 0;  ///< cache occupancy after the last request
+  /// Cached pages after the last request (sorted); filled when
+  /// record_schedule so capture→replay state-exactness is checkable.
+  std::vector<PageId> final_cache;
+  /// Fetch+evict same-page same-step pairs netted out of the captured
+  /// schedule (see CacheOps::capture_cancellations). When 0, replaying
+  /// `schedule` reproduces the run's costs exactly; when > 0 the replay
+  /// is state-exact but may cost strictly less. Filled when
+  /// record_schedule.
+  long long capture_cancellations = 0;
   /// P^2 percentile sketch of per-step total (eviction+fetch) cost, and
   /// the exact per-step maximum; filled when record_sketch.
   double step_cost_p50 = 0;

@@ -45,7 +45,10 @@ double zipf_alpha(const std::string& spec) {
 }
 
 /// Presents an inner streaming source under a different cache size, so
-/// one trace file sweeps across k without rewriting its header.
+/// one trace file sweeps across k without rewriting its header. The
+/// header's BlockMap shares the inner source's structure (BlockMap copies
+/// are O(1) handle bumps), so a file-trace k-sweep costs no per-cell
+/// page-map memory.
 class KOverride final : public RequestSource {
  public:
   KOverride(std::unique_ptr<RequestSource> inner, int k)

@@ -7,6 +7,7 @@
 namespace bac {
 
 std::vector<PageId> uniform_trace(int n_pages, Time T, Xoshiro256pp rng) {
+  if (n_pages <= 0) throw std::invalid_argument("uniform_trace: n_pages");
   std::vector<PageId> out(static_cast<std::size_t>(T));
   for (auto& p : out)
     p = static_cast<PageId>(rng.below(static_cast<std::uint64_t>(n_pages)));
@@ -42,6 +43,13 @@ std::vector<PageId> scan_trace(int n_pages, Time T) {
 
 std::vector<PageId> phased_trace(int n_pages, Time T, Time phase_len,
                                  int ws_size, Xoshiro256pp rng) {
+  // Regression guards: phase_len <= 0 used to hit t % phase_len (integer
+  // division by zero, UB) and ws_size <= 0 indexed an empty working set.
+  if (n_pages <= 0) throw std::invalid_argument("phased_trace: n_pages");
+  if (phase_len <= 0)
+    throw std::invalid_argument("phased_trace: phase_len must be positive");
+  if (ws_size <= 0)
+    throw std::invalid_argument("phased_trace: ws_size must be positive");
   if (ws_size > n_pages) ws_size = n_pages;
   std::vector<PageId> universe(static_cast<std::size_t>(n_pages));
   for (int i = 0; i < n_pages; ++i) universe[static_cast<std::size_t>(i)] = i;

@@ -28,7 +28,9 @@ std::vector<PageId> zipf_trace(int n_pages, Time T, double alpha,
 std::vector<PageId> scan_trace(int n_pages, Time T);
 
 /// Phased working sets: the trace runs in phases of `phase_len` steps; each
-/// phase draws uniformly from a random working set of `ws_size` pages.
+/// phase draws uniformly from a random working set of `ws_size` pages
+/// (clamped to n_pages). Throws std::invalid_argument when phase_len or
+/// ws_size is non-positive.
 std::vector<PageId> phased_trace(int n_pages, Time T, Time phase_len,
                                  int ws_size, Xoshiro256pp rng);
 

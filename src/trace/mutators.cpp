@@ -1,0 +1,66 @@
+#include "trace/mutators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bac {
+
+Instance keep_prefix(const Instance& inst, Time T) {
+  if (T < 0) throw std::invalid_argument("keep_prefix: negative horizon");
+  Instance out{inst.blocks, {}, inst.k};
+  const auto keep = std::min<std::size_t>(static_cast<std::size_t>(T),
+                                          inst.requests.size());
+  out.requests.assign(inst.requests.begin(),
+                      inst.requests.begin() + static_cast<std::ptrdiff_t>(keep));
+  out.validate();
+  return out;
+}
+
+Instance drop_block(const Instance& inst, BlockId b) {
+  const int m = inst.blocks.n_blocks();
+  if (b < 0 || b >= m)
+    throw std::invalid_argument("drop_block: block " + std::to_string(b) +
+                                " out of range");
+  if (m == 1)
+    throw std::invalid_argument("drop_block: cannot drop the only block");
+
+  // Renumber surviving pages in id order and surviving blocks likewise.
+  const int n = inst.blocks.n_pages();
+  std::vector<PageId> new_page(static_cast<std::size_t>(n), -1);
+  std::vector<BlockId> page_to_block;
+  page_to_block.reserve(static_cast<std::size_t>(n));
+  std::vector<Cost> costs;
+  costs.reserve(static_cast<std::size_t>(m) - 1);
+  for (BlockId ob = 0; ob < m; ++ob) {
+    if (ob == b) continue;
+    costs.push_back(inst.blocks.cost(ob));
+  }
+  PageId next = 0;
+  for (PageId p = 0; p < n; ++p) {
+    const BlockId ob = inst.blocks.block_of(p);
+    if (ob == b) continue;
+    new_page[static_cast<std::size_t>(p)] = next++;
+    page_to_block.push_back(ob < b ? ob : ob - 1);
+  }
+
+  Instance out{BlockMap(std::move(page_to_block), std::move(costs)),
+               {},
+               inst.k};
+  out.requests.reserve(inst.requests.size());
+  for (PageId p : inst.requests) {
+    const PageId np = new_page[static_cast<std::size_t>(p)];
+    if (np >= 0) out.requests.push_back(np);
+  }
+  out.validate();
+  return out;
+}
+
+Instance with_k(const Instance& inst, int k) {
+  Instance out{inst.blocks, inst.requests, k};
+  out.validate();
+  return out;
+}
+
+}  // namespace bac

@@ -1,0 +1,32 @@
+// Structure-preserving instance mutators.
+//
+// These are the moves the verify subsystem's shrinker applies to a failing
+// fuzz instance — each one produces a strictly smaller, still-valid
+// Instance whose failure (if it persists) is easier to stare at. They are
+// also useful on their own for carving test cases out of big traces.
+//
+// Every mutator returns a fresh Instance (inputs are never modified) and
+// validates its output; a mutation that cannot produce a valid instance
+// (e.g. dropping the only block) throws std::invalid_argument.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace bac {
+
+/// The first `T` requests of `inst` (T >= horizon returns a plain copy).
+/// The block structure is shared, not copied.
+Instance keep_prefix(const Instance& inst, Time T);
+
+/// Remove block `b` entirely: its pages disappear, remaining pages and
+/// blocks are renumbered contiguously (order preserved), and requests to
+/// removed pages are dropped. k is kept as-is (beta can only shrink, so
+/// the result stays valid). Throws when `b` is out of range or the last
+/// remaining block.
+Instance drop_block(const Instance& inst, BlockId b);
+
+/// Same instance under cache size `k` (throws via validate() when
+/// k < beta or k <= 0). The block structure is shared.
+Instance with_k(const Instance& inst, int k);
+
+}  // namespace bac

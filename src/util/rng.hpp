@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 
 namespace bac {
 
@@ -61,8 +62,12 @@ class Xoshiro256pp {
   }
 
   /// Uniform integer in [0, bound) without modulo bias (Lemire rejection).
-  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
-    if (bound <= 1) return 0;
+  /// Throws std::invalid_argument for bound == 0 (the interval is empty, so
+  /// no return value would satisfy the contract).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0)
+      throw std::invalid_argument("Xoshiro256pp::below: bound must be > 0");
+    if (bound == 1) return 0;
     const std::uint64_t threshold = (0 - bound) % bound;
     for (;;) {
       const std::uint64_t r = (*this)();
@@ -70,10 +75,20 @@ class Xoshiro256pp {
     }
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
-  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
-    return lo + static_cast<std::int64_t>(
-                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  /// Uniform integer in [lo, hi] inclusive. Throws std::invalid_argument
+  /// when hi < lo (the unsigned width hi - lo + 1 would wrap to a huge
+  /// bound and silently return garbage).
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    if (hi < lo)
+      throw std::invalid_argument("Xoshiro256pp::range: hi < lo");
+    // Width in unsigned arithmetic so extreme spans cannot overflow; the
+    // full [INT64_MIN, INT64_MAX] span (width 2^64) needs no rejection.
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    const std::uint64_t offset =
+        width == std::numeric_limits<std::uint64_t>::max() ? (*this)()
+                                                           : below(width + 1);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
   }
 
   constexpr bool bernoulli(double p) noexcept { return uniform() < p; }

@@ -1,0 +1,63 @@
+// The differential fuzz driver: generate -> check -> shrink -> reproduce.
+//
+// Each seed deterministically generates one randomized instance
+// (verify/gen.hpp), runs the selected oracle families over it
+// (verify/oracles.hpp), and — on any violation — greedily shrinks the
+// instance while the violation persists (verify/shrink.hpp), then emits a
+// self-contained repro artifact: the shrunken instance as a `.bact` trace
+// plus a JSON descriptor carrying the seed, family, violation detail, and
+// the exact CLI line that replays it (`bacfuzz --replay <file>`).
+//
+// tools/bacfuzz is a thin CLI over run_fuzz(); tests drive it directly,
+// including with deliberately injected buggy policies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/oracles.hpp"
+
+namespace bac::verify {
+
+struct FuzzConfig {
+  std::uint64_t base_seed = 1;
+  int seeds = 100;
+  /// CI smoke tier: tiny instances and tight solver caps so hundreds of
+  /// seeds finish within a bounded minute.
+  bool smoke = false;
+  std::vector<std::string> families;  ///< empty = all oracle families
+  std::string artifact_dir;           ///< "" = do not write repro artifacts
+  int max_failures = 1;               ///< stop fuzzing after this many
+  OracleOptions oracle;               ///< caps + optional policy injection
+  GenOptions gen;                     ///< instance size envelope
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  std::string family;
+  std::string detail;       ///< first violation's message
+  std::string descriptor;   ///< generator recipe of the original instance
+  Instance shrunk;          ///< smallest instance still failing
+  int shrink_rounds = 0;
+  std::string bact_path;    ///< repro artifacts ("" when not written)
+  std::string json_path;
+};
+
+struct FuzzReport {
+  int seeds_run = 0;
+  long long family_checks = 0;  ///< (seed, family) pairs evaluated
+  std::vector<FuzzFailure> failures;
+};
+
+/// Run the campaign. Violations are collected (up to max_failures), never
+/// thrown; infrastructure errors (unwritable artifact dir) throw.
+FuzzReport run_fuzz(const FuzzConfig& config);
+
+/// Re-check a previously saved repro instance against the families
+/// (empty = all). Used by `bacfuzz --replay`.
+std::vector<Violation> replay_instance(const Instance& inst,
+                                       const std::vector<std::string>& families,
+                                       const OracleOptions& options);
+
+}  // namespace bac::verify

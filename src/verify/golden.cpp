@@ -1,0 +1,227 @@
+#include "verify/golden.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "algs/zoo.hpp"
+#include "core/simulator.hpp"
+#include "trace/bact.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace bac::verify {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint64_t kGoldenSimSeed = 1;
+
+/// Exact-dyadic weighted costs cycling a fixed ladder.
+std::vector<Cost> dyadic_costs(int m) {
+  static constexpr Cost ladder[] = {1.0, 2.0, 0.5, 4.0, 1.0, 0.25};
+  std::vector<Cost> out(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) out[static_cast<std::size_t>(i)] = ladder[i % 6];
+  return out;
+}
+
+/// The corpus instances: every trace kind, unit and weighted costs,
+/// singleton / uniform / skewed block shapes, k = beta and roomy-k edges.
+std::vector<Instance> corpus_instances() {
+  std::vector<Instance> out;
+  // 0: classic paging (singleton blocks), zipf.
+  out.push_back(make_instance(24, 1, 6, zipf_trace(24, 300, 0.9,
+                                                   Xoshiro256pp(11))));
+  // 1: uniform blocks of 4, scan (the LRU nemesis).
+  out.push_back(make_instance(32, 4, 8, scan_trace(32, 256)));
+  // 2: weighted blocks, phased working sets.
+  out.push_back(make_weighted_instance(
+      30, 5, 10, phased_trace(30, 300, 40, 12, Xoshiro256pp(13)),
+      dyadic_costs(6)));
+  // 3: block-local process over uniform blocks, k = beta edge.
+  {
+    const BlockMap blocks = BlockMap::contiguous(24, 6);
+    auto req = block_local_trace(blocks, 240, 0.75, 0.9, Xoshiro256pp(17));
+    out.push_back(Instance{blocks, std::move(req), 6});
+  }
+  // 4: skewed hand-built block map (sizes 1/2/3/6), weighted, uniform trace.
+  {
+    std::vector<BlockId> assign{0, 1, 1, 2, 2, 2, 3, 3, 3, 3, 3, 3};
+    out.push_back(Instance{BlockMap(std::move(assign), dyadic_costs(4)),
+                           uniform_trace(12, 200, Xoshiro256pp(19)), 7});
+  }
+  // 5: single block = whole universe (flushes are all-or-nothing).
+  {
+    std::vector<BlockId> assign(8, 0);
+    out.push_back(Instance{BlockMap(std::move(assign), {2.0}),
+                           zipf_trace(8, 120, 0.6, Xoshiro256pp(23)), 8});
+  }
+  // 6: T < k cold-start edge.
+  out.push_back(make_instance(40, 4, 20, zipf_trace(40, 12, 1.1,
+                                                    Xoshiro256pp(29))));
+  // 7: larger mixed run for meatier numbers.
+  out.push_back(make_weighted_instance(
+      64, 8, 16, zipf_trace(64, 400, 1.0, Xoshiro256pp(31)),
+      dyadic_costs(8)));
+  for (const Instance& inst : out) inst.validate();
+  return out;
+}
+
+std::vector<std::string> deterministic_policy_names() {
+  std::vector<std::string> out;
+  for (const std::string& name : policy_names())
+    if (!make_policy(name)->randomized()) out.push_back(name);
+  return out;
+}
+
+std::string format_double(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+}  // namespace
+
+int write_golden_corpus(const std::string& dir) {
+  fs::create_directories(dir);
+  const std::vector<Instance> instances = corpus_instances();
+  const std::vector<std::string> policies = deterministic_policy_names();
+  int index = 0;
+  for (const Instance& inst : instances) {
+    char stem[32];
+    std::snprintf(stem, sizeof stem, "golden_%02d", index);
+    const std::string bact = (fs::path(dir) / (std::string(stem) + ".bact")).string();
+    const std::string expected =
+        (fs::path(dir) / (std::string(stem) + ".expected")).string();
+    save_bact(inst, bact);
+
+    std::ofstream os(expected);
+    if (!os)
+      throw std::runtime_error("golden: cannot write " + expected);
+    os << "# golden corpus v1: policy evict fetch classic_evict classic_fetch"
+          " misses\n";
+    os << "instance " << stem << ".bact\n";
+    for (const std::string& name : policies) {
+      auto policy = make_policy(name);
+      SimOptions options;
+      options.seed = kGoldenSimSeed;
+      const RunResult r = simulate(inst, *policy, options);
+      os << "policy " << name << ' ' << format_double(r.eviction_cost) << ' '
+         << format_double(r.fetch_cost) << ' '
+         << format_double(r.classic_eviction_cost) << ' '
+         << format_double(r.classic_fetch_cost) << ' ' << r.misses << '\n';
+    }
+    if (!os.flush())
+      throw std::runtime_error("golden: short write to " + expected);
+    ++index;
+  }
+  return index;
+}
+
+std::vector<std::string> check_golden_corpus(const std::string& dir) {
+  std::vector<std::string> mismatches;
+  std::vector<fs::path> expected_files;
+  if (!fs::is_directory(dir))
+    throw std::runtime_error("golden: no corpus directory " + dir);
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().extension() == ".expected")
+      expected_files.push_back(entry.path());
+  std::sort(expected_files.begin(), expected_files.end());
+  if (expected_files.empty())
+    throw std::runtime_error("golden: empty corpus in " + dir);
+
+  const std::vector<std::string> current = deterministic_policy_names();
+  for (const fs::path& path : expected_files) {
+    std::ifstream is(path);
+    if (!is)
+      throw std::runtime_error("golden: cannot read " + path.string());
+    std::string line;
+    Instance inst;
+    bool have_instance = false;
+    int lineno = 0;
+    std::vector<std::string> listed;
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "instance") {
+        std::string bact;
+        ls >> bact;
+        inst = load_bact((path.parent_path() / bact).string());
+        have_instance = true;
+        continue;
+      }
+      if (tag != "policy") {
+        mismatches.push_back(path.filename().string() + ":" +
+                             std::to_string(lineno) + ": unknown tag '" +
+                             tag + "'");
+        continue;
+      }
+      if (!have_instance) {
+        mismatches.push_back(path.filename().string() +
+                             ": policy line before instance line");
+        break;
+      }
+      std::string name, evict_s, fetch_s, cevict_s, cfetch_s;
+      long long misses = -1;
+      ls >> name >> evict_s >> fetch_s >> cevict_s >> cfetch_s >> misses;
+      listed.push_back(name);
+      if (!ls) {
+        mismatches.push_back(path.filename().string() + ":" +
+                             std::to_string(lineno) + ": malformed line");
+        continue;
+      }
+      RunResult r;
+      try {
+        auto policy = make_policy(name);
+        if (policy->randomized()) {
+          mismatches.push_back(name + " is randomized now; regenerate the "
+                                      "corpus (bacfuzz --golden)");
+          continue;
+        }
+        SimOptions options;
+        options.seed = kGoldenSimSeed;
+        r = simulate(inst, *policy, options);
+      } catch (const std::exception& e) {
+        mismatches.push_back(path.filename().string() + ": policy " + name +
+                             " failed: " + e.what());
+        continue;
+      }
+      const double evict = std::strtod(evict_s.c_str(), nullptr);
+      const double fetch = std::strtod(fetch_s.c_str(), nullptr);
+      const double cevict = std::strtod(cevict_s.c_str(), nullptr);
+      const double cfetch = std::strtod(cfetch_s.c_str(), nullptr);
+      if (r.eviction_cost != evict || r.fetch_cost != fetch ||
+          r.classic_eviction_cost != cevict ||
+          r.classic_fetch_cost != cfetch || r.misses != misses)
+        mismatches.push_back(
+            path.filename().string() + ": " + name + " diverged: got (" +
+            format_double(r.eviction_cost) + ", " +
+            format_double(r.fetch_cost) + ", " +
+            format_double(r.classic_eviction_cost) + ", " +
+            format_double(r.classic_fetch_cost) + ", " +
+            std::to_string(r.misses) + ") expected (" + evict_s + ", " +
+            fetch_s + ", " + cevict_s + ", " + cfetch_s + ", " +
+            std::to_string(misses) + ")");
+    }
+    // The pinned-number safety net must cover the *current* deterministic
+    // registry: a policy added after the corpus was generated (or a
+    // truncated .expected) would otherwise silently escape pinning.
+    for (const std::string& name : current)
+      if (std::find(listed.begin(), listed.end(), name) == listed.end())
+        mismatches.push_back(path.filename().string() +
+                             ": deterministic policy '" + name +
+                             "' is not pinned; regenerate the corpus "
+                             "(bacfuzz --golden)");
+  }
+  return mismatches;
+}
+
+}  // namespace bac::verify

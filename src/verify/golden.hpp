@@ -1,0 +1,31 @@
+// Golden corpus: pinned exact costs for every deterministic policy.
+//
+// `write_golden_corpus` generates a small set of instances (committed as
+// .bact files) and one `.expected` sidecar per instance listing, for each
+// deterministic registry policy, the exact run costs printed with %.17g
+// (round-trippable doubles). `check_golden_corpus` replays the corpus and
+// compares bit-for-bit, so any refactor that changes a single double in
+// any policy/cost-model/simulator path diffs red against pinned numbers.
+//
+// Costs in the corpus are exact dyadic values (1, 0.5, 2, ...) so the
+// pinned sums never depend on platform libm; the traces themselves are
+// pinned inside the .bact files, so generator changes don't invalidate
+// the corpus either. Regenerate deliberately with `bacfuzz --golden <dir>`
+// when a cost change is intended, and review the diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bac::verify {
+
+/// Write the corpus (golden_XX.bact + golden_XX.expected) into `dir`
+/// (created if missing). Returns the number of instances written.
+int write_golden_corpus(const std::string& dir);
+
+/// Replay every golden_XX.expected under `dir`; returns one human-readable
+/// message per mismatch (empty = corpus reproduces exactly). Throws on a
+/// missing/unreadable corpus.
+std::vector<std::string> check_golden_corpus(const std::string& dir);
+
+}  // namespace bac::verify

@@ -1,0 +1,95 @@
+#include "verify/shrink.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "trace/mutators.hpp"
+
+namespace bac::verify {
+
+namespace {
+
+/// Apply one mutation; nullopt when the mutator rejects it (invalid
+/// candidate) or the failure disappears under it.
+std::optional<Instance> try_adopt(const FailurePredicate& still_fails,
+                                  const std::function<Instance()>& mutate) {
+  try {
+    Instance cand = mutate();
+    if (still_fails(cand)) return cand;
+  } catch (const std::invalid_argument&) {
+    // Mutation not applicable to this instance shape.
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ShrinkOutcome shrink_instance(const Instance& start,
+                              const FailurePredicate& still_fails,
+                              int max_rounds) {
+  ShrinkOutcome out{start, 0, false};
+  bool progress = true;
+  while (progress && out.rounds < max_rounds) {
+    progress = false;
+    const Instance& cur = out.inst;
+
+    // 1. Halve the horizon, then peel single trailing requests.
+    if (cur.horizon() > 0) {
+      if (auto cand = try_adopt(still_fails, [&] {
+            return keep_prefix(cur, cur.horizon() / 2);
+          })) {
+        out.inst = std::move(*cand);
+        ++out.rounds;
+        progress = out.changed = true;
+        continue;
+      }
+      if (auto cand = try_adopt(still_fails, [&] {
+            return keep_prefix(cur, cur.horizon() - 1);
+          })) {
+        out.inst = std::move(*cand);
+        ++out.rounds;
+        progress = out.changed = true;
+        continue;
+      }
+    }
+
+    // 2. Drop blocks, highest id first (renumbering shifts later ids).
+    {
+      bool dropped = false;
+      for (BlockId b = cur.blocks.n_blocks() - 1; b >= 0 && !dropped; --b) {
+        if (auto cand = try_adopt(still_fails,
+                                  [&] { return drop_block(cur, b); })) {
+          out.inst = std::move(*cand);
+          ++out.rounds;
+          progress = out.changed = dropped = true;
+        }
+      }
+      if (dropped) continue;
+    }
+
+    // 3. Shrink the cache: halve toward beta, then single steps.
+    if (cur.k > cur.blocks.beta()) {
+      const int beta = cur.blocks.beta();
+      const int half = beta + (cur.k - beta) / 2;
+      if (half < cur.k) {
+        if (auto cand = try_adopt(still_fails,
+                                  [&] { return with_k(cur, half); })) {
+          out.inst = std::move(*cand);
+          ++out.rounds;
+          progress = out.changed = true;
+          continue;
+        }
+      }
+      if (auto cand = try_adopt(still_fails,
+                                [&] { return with_k(cur, cur.k - 1); })) {
+        out.inst = std::move(*cand);
+        ++out.rounds;
+        progress = out.changed = true;
+        continue;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bac::verify

@@ -1,0 +1,34 @@
+// Greedy instance shrinking for fuzz failures.
+//
+// Given a failing instance and a predicate that re-checks the failure,
+// repeatedly apply the trace mutators (halve the horizon, drop whole
+// blocks, shrink k) and keep every mutation under which the violation
+// persists, until no move makes progress. The result is the small
+// instance that lands in the repro artifact.
+#pragma once
+
+#include <functional>
+
+#include "core/instance.hpp"
+
+namespace bac::verify {
+
+/// True when the candidate instance still exhibits the failure. The
+/// predicate must be safe to call on any valid instance (the shrinker
+/// only offers candidates that pass Instance::validate()).
+using FailurePredicate = std::function<bool(const Instance&)>;
+
+struct ShrinkOutcome {
+  Instance inst;      ///< smallest failing instance found
+  int rounds = 0;     ///< mutations adopted
+  bool changed = false;
+};
+
+/// Greedily shrink `start` (which must satisfy `still_fails`). Bounded by
+/// `max_rounds` adopted mutations; each candidate costs one predicate
+/// evaluation.
+ShrinkOutcome shrink_instance(const Instance& start,
+                              const FailurePredicate& still_fails,
+                              int max_rounds = 200);
+
+}  // namespace bac::verify

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/block_map.hpp"
+#include "core/instance.hpp"
 
 namespace bac {
 namespace {
@@ -53,6 +54,26 @@ TEST(BlockMap, RejectsBadInput) {
   EXPECT_THROW(BlockMap::contiguous(0, 4), std::invalid_argument);
   EXPECT_THROW(BlockMap::contiguous_weighted(10, 4, {1.0}),
                std::invalid_argument);  // wrong cost count
+}
+
+TEST(BlockMap, CopiesShareStructureInConstantSpace) {
+  // Regression: KOverride (k-sweeps over one trace file) and the sharded
+  // server headers used to deep-copy the BlockMap per cell/shard; copies
+  // now share one immutable Data block.
+  const BlockMap m = BlockMap::contiguous(1000, 8);
+  const BlockMap copy = m;            // O(1), shares structure
+  EXPECT_TRUE(copy.shares_structure(m));
+  EXPECT_EQ(copy.pages_in(3).data(), m.pages_in(3).data())
+      << "copies must reference the same physical page arrays";
+
+  // An Instance header built from the copy still shares it.
+  const Instance header{copy, {}, 64};
+  EXPECT_TRUE(header.blocks.shares_structure(m));
+
+  // Independently constructed identical maps do NOT share (structural
+  // sharing is identity-based, not value-based).
+  const BlockMap other = BlockMap::contiguous(1000, 8);
+  EXPECT_FALSE(other.shares_structure(m));
 }
 
 TEST(BlockMap, SingletonBlocksAreWeightedPaging) {

@@ -232,5 +232,108 @@ TEST(SimulatorTest, StepRecordingSumsToTotal) {
   EXPECT_DOUBLE_EQ(fetch, r.fetch_cost);
 }
 
+TEST(ScheduleTest, ReplayReportsFullAccountingAndFinalState) {
+  const Instance inst = tiny_instance();  // requests 0 1 2 3 0, k=2
+  Schedule s;
+  s.steps.resize(5);
+  s.steps[0].fetches = {0};
+  s.steps[1].fetches = {1};
+  s.steps[2].evictions = {0, 1};
+  s.steps[2].fetches = {2};
+  s.steps[3].fetches = {3};
+  s.steps[4].evictions = {2, 3};
+  s.steps[4].fetches = {0};
+  const ReplayResult r = replay_schedule(inst, s);
+  EXPECT_TRUE(r.feasible) << r.infeasibility;
+  EXPECT_DOUBLE_EQ(r.eviction_cost, 2.0);
+  EXPECT_DOUBLE_EQ(r.fetch_cost, 5.0);
+  EXPECT_DOUBLE_EQ(r.classic_eviction_cost, 4.0);  // 4 page evictions, cost 1
+  EXPECT_DOUBLE_EQ(r.classic_fetch_cost, 5.0);
+  EXPECT_EQ(r.evicted_pages, 4);
+  EXPECT_EQ(r.fetched_pages, 5);
+  EXPECT_EQ(r.evict_block_events, 2);
+  EXPECT_EQ(r.final_cache, (std::vector<PageId>{0}));
+}
+
+/// Flushes the requested page's whole block, then refetches the request —
+/// every step moves up to beta pages, exercising the capture path that was
+/// quadratic per step before stamp-based cancellation.
+class FlushHappy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "FlushHappy"; }
+  void reset(const Instance&) override {}
+  void on_request(Time, PageId p, CacheOps& cache) override {
+    cache.flush_block(cache.blocks().block_of(p));
+    cache.fetch(p);
+  }
+};
+
+TEST(SimulatorTest, FlushHeavyCaptureReplaysExactly) {
+  // Regression for the O(step^2) capture: a flush-heavy policy over large
+  // blocks must capture a schedule whose replay is state- and cost-exact.
+  const int n = 64, beta = 16, k = 32;
+  std::vector<PageId> requests;
+  for (int i = 0; i < 400; ++i)
+    requests.push_back(static_cast<PageId>((i * 7) % n));
+  const Instance inst{BlockMap::contiguous(n, beta), std::move(requests), k};
+  FlushHappy policy;
+  SimOptions opt;
+  opt.record_schedule = true;
+  const RunResult live = simulate(inst, policy, opt);
+  EXPECT_EQ(live.capture_cancellations, 0);
+  const ReplayResult replay = replay_schedule(inst, live.schedule);
+  EXPECT_TRUE(replay.feasible) << replay.infeasibility;
+  EXPECT_DOUBLE_EQ(replay.eviction_cost, live.eviction_cost);
+  EXPECT_DOUBLE_EQ(replay.fetch_cost, live.fetch_cost);
+  EXPECT_DOUBLE_EQ(replay.classic_eviction_cost, live.classic_eviction_cost);
+  EXPECT_DOUBLE_EQ(replay.classic_fetch_cost, live.classic_fetch_cost);
+  EXPECT_EQ(replay.evicted_pages, live.evicted_pages);
+  EXPECT_EQ(replay.fetched_pages, live.fetched_pages);
+  EXPECT_EQ(replay.final_cache, live.final_cache);
+  EXPECT_EQ(static_cast<int>(replay.final_cache.size()), live.cached_pages);
+}
+
+/// Fetches a victim page then evicts it within the same step: the capture
+/// must net the pair out (state-exact replay) and count the cancellation.
+class TransientChurn final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "TransientChurn"; }
+  void reset(const Instance&) override {}
+  void on_request(Time, PageId p, CacheOps& cache) override {
+    if (!cache.contains(p)) {
+      const PageId scratch = p == 0 ? 1 : 0;
+      const bool had_scratch = cache.contains(scratch);
+      if (!had_scratch && cache.size() + 2 <= cache.capacity()) {
+        cache.fetch(scratch);   // transient: fetched then evicted below
+        cache.evict(scratch);
+      }
+      while (cache.size() >= cache.capacity()) {
+        for (PageId q : cache.pages())
+          if (q != p) {
+            cache.evict(q);
+            break;
+          }
+      }
+      cache.fetch(p);
+    }
+  }
+};
+
+TEST(SimulatorTest, TransientFetchEvictPairsAreNettedAndCounted) {
+  const Instance inst = tiny_instance();
+  TransientChurn policy;
+  SimOptions opt;
+  opt.record_schedule = true;
+  const RunResult live = simulate(inst, policy, opt);
+  EXPECT_GT(live.capture_cancellations, 0);
+  // The netted schedule replays to the same final state; its cost can
+  // only be at or below the live run's (the transient was metered live).
+  const ReplayResult replay = replay_schedule(inst, live.schedule);
+  EXPECT_TRUE(replay.feasible) << replay.infeasibility;
+  EXPECT_EQ(replay.final_cache, live.final_cache);
+  EXPECT_LE(replay.fetch_cost, live.fetch_cost + 1e-12);
+  EXPECT_LE(replay.eviction_cost, live.eviction_cost + 1e-12);
+}
+
 }  // namespace
 }  // namespace bac

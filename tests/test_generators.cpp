@@ -59,6 +59,32 @@ TEST(Generators, PhasedStaysInWorkingSet) {
   }
 }
 
+TEST(Generators, PhasedRejectsNonPositivePhaseLen) {
+  // Regression: phase_len <= 0 used to reach t % phase_len — integer
+  // division by zero (UB) — instead of failing loudly.
+  EXPECT_THROW(phased_trace(100, 400, 0, 8, Xoshiro256pp(3)),
+               std::invalid_argument);
+  EXPECT_THROW(phased_trace(100, 400, -5, 8, Xoshiro256pp(3)),
+               std::invalid_argument);
+}
+
+TEST(Generators, PhasedRejectsNonPositiveWorkingSet) {
+  // Regression: ws_size <= 0 used to index an empty working set.
+  EXPECT_THROW(phased_trace(100, 400, 50, 0, Xoshiro256pp(3)),
+               std::invalid_argument);
+  EXPECT_THROW(phased_trace(100, 400, 50, -1, Xoshiro256pp(3)),
+               std::invalid_argument);
+  EXPECT_THROW(phased_trace(0, 400, 50, 8, Xoshiro256pp(3)),
+               std::invalid_argument);
+  // ws_size > n_pages still clamps rather than throwing.
+  const auto t = phased_trace(4, 40, 10, 99, Xoshiro256pp(3));
+  EXPECT_EQ(t.size(), 40u);
+}
+
+TEST(Generators, UniformRejectsEmptyUniverse) {
+  EXPECT_THROW(uniform_trace(0, 10, Xoshiro256pp(1)), std::invalid_argument);
+}
+
 TEST(Generators, BlockLocalMostlyStays) {
   const BlockMap blocks = BlockMap::contiguous(64, 8);
   const auto t = block_local_trace(blocks, 10'000, 0.9, 0.8, Xoshiro256pp(1));

@@ -1,0 +1,77 @@
+// Golden corpus: the committed tests/golden/ instances replay to exactly
+// the pinned costs for every deterministic policy. Any refactor that
+// changes a single double anywhere in the policy / cost-model / simulator
+// stack diffs red here; regenerate deliberately with
+// `bacfuzz --golden tests/golden` and review the diff.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "verify/golden.hpp"
+
+#ifndef BAC_GOLDEN_DIR
+#error "BAC_GOLDEN_DIR must point at the committed corpus"
+#endif
+
+namespace bac {
+namespace {
+
+TEST(Golden, CommittedCorpusReproducesExactly) {
+  const std::vector<std::string> mismatches =
+      verify::check_golden_corpus(BAC_GOLDEN_DIR);
+  for (const std::string& m : mismatches) ADD_FAILURE() << m;
+}
+
+TEST(Golden, RegeneratedCorpusIsSelfConsistent) {
+  // write -> check round-trips on this machine, independent of the
+  // committed files — isolates "corpus is stale" from "writer broke".
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("bac_golden_" + std::to_string(::getpid())))
+          .string();
+  const int count = verify::write_golden_corpus(dir);
+  EXPECT_GE(count, 6);
+  const std::vector<std::string> mismatches =
+      verify::check_golden_corpus(dir);
+  for (const std::string& m : mismatches) ADD_FAILURE() << m;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Golden, UnpinnedDeterministicPolicyIsFlagged) {
+  // Regression: the checker must compare each .expected against the
+  // *current* deterministic registry, so a policy added after the corpus
+  // was generated (or a truncated file) cannot silently escape pinning.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("bac_golden_trunc_" + std::to_string(::getpid())))
+          .string();
+  verify::write_golden_corpus(dir);
+  // Drop the last policy line from one .expected file.
+  const std::string victim = dir + "/golden_00.expected";
+  std::ifstream in(victim);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  in.close();
+  ASSERT_GT(lines.size(), 3u);
+  lines.pop_back();
+  std::ofstream out(victim, std::ios::trunc);
+  for (const std::string& line : lines) out << line << '\n';
+  out.close();
+
+  const std::vector<std::string> mismatches =
+      verify::check_golden_corpus(dir);
+  ASSERT_EQ(mismatches.size(), 1u);
+  EXPECT_NE(mismatches[0].find("not pinned"), std::string::npos)
+      << mismatches[0];
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Golden, MissingCorpusFailsLoudly) {
+  EXPECT_THROW(verify::check_golden_corpus("/nonexistent/golden/dir"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bac

@@ -52,6 +52,17 @@ TEST(SyntheticSource, MatchesPhasedGenerator) {
   EXPECT_EQ(drain(*src), expect);
 }
 
+TEST(SyntheticSource, PhasedRejectsBadShape) {
+  // Mirrors the phased_trace guards: both halves of the streaming pair
+  // must reject the shapes whose materialized twin would throw.
+  EXPECT_THROW(SyntheticSource::phased(40, 4, 12, 600, 0, 12, 1),
+               std::invalid_argument);
+  EXPECT_THROW(SyntheticSource::phased(40, 4, 12, 600, 60, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(SyntheticSource::phased(40, 4, 12, 600, 60, -3, 1),
+               std::invalid_argument);
+}
+
 TEST(SyntheticSource, MatchesBlockLocalGenerator) {
   const std::uint64_t seed = 5;
   const BlockMap blocks = BlockMap::contiguous(48, 6);

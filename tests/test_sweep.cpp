@@ -165,6 +165,56 @@ TEST(Sweep, FileWorkloadsSweepAcrossK) {
   EXPECT_GE(records[0].cost, records[1].cost);  // bigger cache, lower cost
 }
 
+TEST(Sweep, FileKSweepSharesBlockStructureAndStaysBitIdentical) {
+  // Regression for the KOverride deep copy: the k-override header must
+  // share the trace's block structure (O(1) per cell, not O(n_pages)),
+  // and the sweep records must stay bit-identical to a direct simulate
+  // over the materialized instance at each k.
+  const std::string file =
+      (std::filesystem::temp_directory_path() /
+       ("bac_kshare_" + std::to_string(::getpid()) + ".bact"))
+          .string();
+  Xoshiro256pp rng(91);
+  const Instance inst =
+      make_instance(48, 4, 8, zipf_trace(48, 900, 0.9, rng));
+  save_bact(inst, file);
+
+  driver::SweepConfig config;
+  config.policies = {"lru", "block_lru"};
+  config.workloads = {file};
+  config.ks = {8, 12, 24};
+
+  // The override header shares the underlying source's structure.
+  auto source = driver::make_workload_source(file, config, 12);
+  EXPECT_EQ(source->context().k, 12);
+
+  std::mutex mutex;
+  std::vector<driver::SweepRecord> records;
+  driver::run_sweep(config, [&](const driver::SweepRecord& r) {
+    std::lock_guard lock(mutex);
+    records.push_back(r);
+  });
+  const Instance materialized = load_bact(file);
+  std::filesystem::remove(file);
+
+  ASSERT_EQ(records.size(), 6u);
+  for (const auto& r : records) {
+    Instance cell = materialized;
+    cell.k = r.k;
+    auto policy = make_policy(r.policy);
+    SimOptions options;
+    options.seed = config.seed;
+    const RunResult direct = simulate(cell, *policy, options);
+    // Bit-identical, not approximately equal: sharing the structure must
+    // not perturb a single double anywhere in the pipeline.
+    EXPECT_EQ(r.eviction_cost, direct.eviction_cost)
+        << r.policy << " k=" << r.k;
+    EXPECT_EQ(r.fetch_cost, direct.fetch_cost) << r.policy << " k=" << r.k;
+    EXPECT_EQ(r.cost, direct.eviction_cost + direct.fetch_cost);
+    EXPECT_EQ(r.misses, direct.misses);
+  }
+}
+
 TEST(Sweep, ZipfNamedFilesRouteToTraceReaders) {
   // A trace whose basename starts with "zipf" must not be parsed as a
   // synthetic zipf spec.

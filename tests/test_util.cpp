@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -63,6 +64,41 @@ TEST(Rng, RangeIsInclusive) {
   }
   EXPECT_TRUE(saw_lo);
   EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  // Regression: below(0) used to return 0, which lies outside [0, 0) —
+  // callers drawing from an empty universe got a silently wrong index.
+  Xoshiro256pp rng(9);
+  EXPECT_THROW((void)rng.below(0), std::invalid_argument);
+  // bound == 1 has exactly one legal value.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInvertedBoundsThrow) {
+  // Regression: range(lo, hi) with hi < lo used to wrap hi - lo + 1 to a
+  // huge unsigned bound and return values far outside [lo, hi].
+  Xoshiro256pp rng(10);
+  EXPECT_THROW((void)rng.range(3, 2), std::invalid_argument);
+  EXPECT_THROW((void)rng.range(0, -1), std::invalid_argument);
+  // Degenerate single-point interval is legal.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Rng, RangeExtremeSpansStayInBounds) {
+  // The width arithmetic must not overflow for spans near 2^63.
+  Xoshiro256pp rng(12);
+  const auto lo = std::numeric_limits<std::int64_t>::min();
+  const auto hi = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.range(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.range(lo, lo + 1);
+    EXPECT_TRUE(v == lo || v == lo + 1);
+  }
 }
 
 TEST(Rng, SubstreamsDiffer) {
