@@ -9,6 +9,7 @@
 //   --trials <n>     override Monte-Carlo trial counts (default: per-exp)
 //   --threads <n>    worker threads for parallel sweeps (default: hardware)
 //   --json [path]    write a BENCH_<bench>.json record file
+//   --compare <path> print per-case speedup vs a baseline record file
 //   --only <name>    run a single registered experiment (repeatable)
 //   --list           print registered experiments and exit
 #pragma once
@@ -38,6 +39,7 @@ struct Options {
   int threads = 0;          ///< 0 = hardware concurrency
   bool json = false;
   std::string json_path;    ///< resolved to BENCH_<bench>.json when empty
+  std::string compare_path; ///< baseline BENCH_*.json to diff against
   std::vector<std::string> only;
 };
 

@@ -47,12 +47,14 @@ std::string bench_name(const char* argv0) {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--seed <u64>] [--trials <n>] [--threads <n>]\n"
-      "          [--json [path]] [--only <experiment>]... [--list]\n"
+      "          [--json [path]] [--compare <baseline.json>]\n"
+      "          [--only <experiment>]... [--list]\n"
       "\n"
       "  --seed     offset all workload seeds (default 1 = paper tables)\n"
       "  --trials   override Monte-Carlo trial counts\n"
       "  --threads  worker threads for parallel sweeps (default: hardware)\n"
       "  --json     write structured records (default path BENCH_<bench>.json)\n"
+      "  --compare  print per-case speedup vs a baseline BENCH_*.json\n"
       "  --only     run just the named experiment (repeatable)\n"
       "  --list     print registered experiments and exit\n",
       argv0);
@@ -105,6 +107,90 @@ void write_json(const std::string& path, const std::string& bench) {
   if (!os.flush()) throw std::runtime_error("short write to " + path);
 }
 
+/// A baseline record's comparable numbers, keyed by (experiment, workload).
+struct BaselineCase {
+  double wall_ms = 0.0;
+  double items_per_sec = 0.0;  ///< 0 when the record carries no throughput
+  double cost = 0.0;
+};
+
+/// Print per-case speedup of this run vs `path` (a BENCH_*.json written by
+/// any bench binary). Cases are matched by (experiment name, workload);
+/// speedup is items_per_sec ratio when both sides report throughput, wall
+/// time ratio otherwise. A cost mismatch is flagged — perf work must not
+/// change results. Cases present on only one side are named below the
+/// table (renames/removals must be visible) but never fail the run.
+void print_comparison(const std::string& path) {
+  const JsonValue doc = load_json_file(path);
+  const JsonValue* exps = doc.find("experiments");
+  if (exps == nullptr || exps->kind != JsonValue::Kind::Array)
+    throw std::runtime_error("--compare: " + path +
+                             " has no experiments array");
+  std::vector<std::pair<std::string, BaselineCase>> baseline;
+  for (const JsonValue& exp : exps->items) {
+    const std::string exp_name = exp.string_or("name", "?");
+    const JsonValue* records = exp.find("records");
+    if (records == nullptr) continue;
+    for (const JsonValue& r : records->items) {
+      BaselineCase c;
+      c.wall_ms = r.number_or("wall_ms", 0.0);
+      c.items_per_sec = r.number_or("items_per_sec", 0.0);
+      c.cost = r.number_or("cost", 0.0);
+      baseline.emplace_back(exp_name + "|" + r.string_or("workload", "?"), c);
+    }
+  }
+  const auto lookup = [&](const std::string& key) -> const BaselineCase* {
+    for (const auto& [k, v] : baseline)
+      if (k == key) return &v;
+    return nullptr;
+  };
+
+  Table table({"case", "base ms", "now ms", "base Mi/s", "now Mi/s",
+               "speedup", "cost"});
+  int matched = 0;
+  std::vector<std::string> only_here;
+  std::vector<std::string> matched_keys;
+  for (const Experiment& exp : registry()) {
+    if (!exp.ran) continue;
+    for (const Record& r : exp.records) {
+      const std::string key = std::string(exp.name) + "|" + r.workload;
+      const BaselineCase* base = lookup(key);
+      if (base == nullptr) {
+        only_here.push_back(key);
+        continue;
+      }
+      matched_keys.push_back(key);
+      ++matched;
+      double now_ips = 0.0;
+      for (const auto& [k, v] : r.extra)
+        if (k == "items_per_sec") now_ips = v;
+      const bool by_throughput = now_ips > 0 && base->items_per_sec > 0;
+      const double speedup =
+          by_throughput
+              ? now_ips / base->items_per_sec
+              : (r.wall_ms > 0 ? base->wall_ms / r.wall_ms : 0.0);
+      table.row()
+          .add(exp.name + std::string("/") + r.workload)
+          .add(base->wall_ms, 2)
+          .add(r.wall_ms, 2)
+          .add(base->items_per_sec / 1e6, 2)
+          .add(now_ips / 1e6, 2)
+          .add(speedup, 2)
+          .add(r.cost == base->cost ? "same" : "DIFFERS");
+    }
+  }
+  table.print(std::cout, "COMPARE vs " + path);
+  std::printf("  %d case(s) matched\n", matched);
+  for (const std::string& key : only_here)
+    std::printf("  new case (no baseline entry): %s\n", key.c_str());
+  for (const auto& entry : baseline)
+    if (std::find(matched_keys.begin(), matched_keys.end(), entry.first) ==
+        matched_keys.end())
+      std::printf("  baseline case missing from this run: %s\n",
+                  entry.first.c_str());
+  std::printf("\n");
+}
+
 bool selected(const Experiment& exp) {
   if (options().only.empty()) return true;
   for (const auto& name : options().only)
@@ -151,6 +237,8 @@ int run(int argc, char** argv) {
       // Optional path operand: consume the next arg unless it is a flag.
       if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
         opt.json_path = argv[++i];
+    } else if (arg == "--compare") {
+      opt.compare_path = value("--compare");
     } else if (arg == "--only") {
       opt.only.emplace_back(value("--only"));
     } else if (arg == "--list") {
@@ -201,6 +289,8 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "%s: no experiments registered\n", argv[0]);
     return 1;
   }
+
+  if (!opt.compare_path.empty()) print_comparison(opt.compare_path);
 
   if (opt.json) {
     write_json(opt.json_path, bench);

@@ -7,8 +7,6 @@
 // trajectory's machine-readable trail.
 #include "bench_common.hpp"
 
-#include <type_traits>
-
 #include "algs/classical/classical.hpp"
 #include "algs/det_online.hpp"
 #include "algs/fractional.hpp"
@@ -79,26 +77,36 @@ void run_case(Table& table, const std::string& name, const Instance& inst,
 }
 
 template <typename Policy>
-void simulate_case(Table& table, const std::string& name, int n) {
-  // The LP-based randomized policy costs ~ms per request (its separation
-  // oracle scans the fractional history); give it a shorter trace so the
-  // microbenchmark finishes in seconds while still reporting per-item cost.
-  const bool heavy = std::is_same_v<Policy, RandomizedBlockAware>;
-  const Instance inst = bench_instance(n, 8, n / 4, heavy ? 2'000 : 20'000);
+void simulate_case(Table& table, const std::string& name, int n, Time T) {
+  const Instance inst = bench_instance(n, 8, n / 4, T);
   Policy policy;
+  // Pure simulator + policy throughput: no per-step sketches, schedules,
+  // or curves — the lane the flat eviction indexes and batched streaming
+  // are built for. The checksum (total eviction cost) pins behaviour, so
+  // --compare flags any perf change that also changes results.
+  SimOptions options;
+  options.record_sketch = false;
   run_case(table, name + "/" + std::to_string(n), inst, inst.horizon(), [&] {
-    return simulate(inst, policy).eviction_cost;
+    return simulate(inst, policy, options).eviction_cost;
   });
 }
 
 void simulator_throughput() {
   Table table = perf_table();
-  simulate_case<LruPolicy>(table, "simulate/LRU", 256);
-  simulate_case<LruPolicy>(table, "simulate/LRU", 1024);
-  simulate_case<BlockLruNoPrefetch>(table, "simulate/BlockLRU", 256);
-  simulate_case<DetOnlineBlockAware>(table, "simulate/BA-Det", 256);
-  simulate_case<DetOnlineBlockAware>(table, "simulate/BA-Det", 1024);
-  simulate_case<RandomizedBlockAware>(table, "simulate/BA-Rand", 256);
+  // Light (index-bound) policies get long traces for stable timing; the
+  // LP-based randomized policy costs ~ms per request (its separation
+  // oracle scans the fractional history), so it gets a short one.
+  constexpr Time kLong = 200'000;
+  simulate_case<LruPolicy>(table, "simulate/LRU", 256, kLong);
+  simulate_case<LruPolicy>(table, "simulate/LRU", 1024, kLong);
+  simulate_case<FifoPolicy>(table, "simulate/FIFO", 1024, kLong);
+  simulate_case<LfuPolicy>(table, "simulate/LFU", 1024, kLong);
+  simulate_case<GreedyDualPolicy>(table, "simulate/GreedyDual", 1024, kLong);
+  simulate_case<BeladyPolicy>(table, "simulate/Belady", 1024, kLong);
+  simulate_case<BlockLruNoPrefetch>(table, "simulate/BlockLRU", 256, kLong);
+  simulate_case<DetOnlineBlockAware>(table, "simulate/BA-Det", 256, 20'000);
+  simulate_case<DetOnlineBlockAware>(table, "simulate/BA-Det", 1024, 20'000);
+  simulate_case<RandomizedBlockAware>(table, "simulate/BA-Rand", 256, 2'000);
   bench::emit(table, "bench_perf", "PERF simulator throughput per policy",
               "simulate");
 }

@@ -6,7 +6,7 @@ void BeladyPolicy::reset(const Instance& inst) {
   const auto n = static_cast<std::size_t>(inst.n_pages());
   occurrences_.assign(n, {});
   cursor_.assign(n, 0);
-  by_next_.clear();
+  by_next_.reset(inst.n_pages());
   for (Time t = 1; t <= inst.horizon(); ++t)
     occurrences_[static_cast<std::size_t>(inst.request_at(t))].push_back(t);
 }
@@ -20,19 +20,21 @@ Time BeladyPolicy::next_use(PageId p) const {
 
 void BeladyPolicy::on_request(Time /*t*/, PageId p, CacheOps& cache) {
   const bool hit = cache.contains(p);
-  if (hit) by_next_.erase({next_use(p), p});
   // Advance p's cursor past the current request.
   ++cursor_[static_cast<std::size_t>(p)];
 
-  if (!hit) {
-    if (cache.size() >= cache.capacity()) {
-      const auto victim = *by_next_.rbegin();  // farthest next use
-      by_next_.erase(std::prev(by_next_.end()));
-      cache.evict(victim.second);
-    }
-    cache.fetch(p);
+  if (hit) {
+    by_next_.update(p, next_use(p));
+    return;
   }
-  by_next_.insert({next_use(p), p});
+  if (cache.size() >= cache.capacity()) {
+    PageId victim = 0;
+    Time farthest = 0;
+    by_next_.pop(victim, farthest);  // max-heap: farthest next use
+    cache.evict(victim);
+  }
+  cache.fetch(p);
+  by_next_.push(p, next_use(p));
 }
 
 }  // namespace bac

@@ -4,24 +4,19 @@ namespace bac {
 
 void BlockLruPolicy::reset(const Instance& inst) {
   const auto m = static_cast<std::size_t>(inst.blocks.n_blocks());
-  block_used_.assign(m, 0);
-  by_recency_.clear();
+  by_recency_.reset(inst.blocks.n_blocks());
   cached_count_.assign(m, 0);
-}
-
-void BlockLruPolicy::touch(BlockId b, Time t) {
-  if (cached_count_[static_cast<std::size_t>(b)] > 0)
-    by_recency_.erase({block_used_[static_cast<std::size_t>(b)], b});
-  block_used_[static_cast<std::size_t>(b)] = t;
 }
 
 void BlockLruPolicy::note_evicted(BlockId b, int n_evicted) {
   cached_count_[static_cast<std::size_t>(b)] -= n_evicted;
 }
 
-void BlockLruPolicy::on_request(Time t, PageId p, CacheOps& cache) {
+void BlockLruPolicy::on_request(Time /*t*/, PageId p, CacheOps& cache) {
   const BlockId b = cache.blocks().block_of(p);
-  touch(b, t);
+  // Detach the requested block while we serve it; it is re-appended as
+  // most-recent below (so the flush loop can never pick it as victim).
+  if (by_recency_.contains(b)) by_recency_.erase(b);
 
   if (!cache.contains(p)) {
     // Fetch the page (or, with prefetch, the whole block).
@@ -41,9 +36,7 @@ void BlockLruPolicy::on_request(Time t, PageId p, CacheOps& cache) {
 
     // Flush LRU blocks until we fit; never the requested block.
     while (cache.size() > cache.capacity()) {
-      auto it = by_recency_.begin();
-      const BlockId victim = it->second;
-      by_recency_.erase(it);
+      const BlockId victim = by_recency_.pop_front();
       const int evicted = cache.flush_block(victim);
       note_evicted(victim, evicted);
       if (cache.size() > cache.capacity() &&
@@ -55,7 +48,7 @@ void BlockLruPolicy::on_request(Time t, PageId p, CacheOps& cache) {
       }
     }
   }
-  by_recency_.insert({t, b});
+  by_recency_.push_back(b);
 }
 
 }  // namespace bac

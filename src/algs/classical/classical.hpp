@@ -17,12 +17,20 @@
 //    whole blocks (batched), optionally prefetching whole blocks on a miss.
 //    Not from the paper; included as the "what a practitioner would try"
 //    baseline.
+// All deterministic policies here keep their eviction order in the flat
+// primitives from core/eviction_index.hpp (an intrusive list for recency
+// orders, a lazy 4-ary heap for priority orders) instead of std::set —
+// same victims, same tie-breaking (by page id via the (key, id) pair
+// comparator), no allocation per request, and storage reused across
+// reset() calls. The verify subsystem keeps frozen std::set twins
+// (verify/reference_policies.hpp) and fuzzes the two against each other.
 #pragma once
 
 #include <cstdint>
-#include <set>
+#include <utility>
 #include <vector>
 
+#include "core/eviction_index.hpp"
 #include "core/policy.hpp"
 #include "util/rng.hpp"
 
@@ -38,8 +46,9 @@ class LruPolicy final : public OnlinePolicy {
   }
 
  private:
-  std::vector<Time> last_used_;
-  std::set<std::pair<Time, PageId>> by_recency_;  // cached pages only
+  // Insertion order == last-use order (timestamps strictly increase), so
+  // front() is the std::set<std::pair<Time, PageId>>::begin victim.
+  IntrusiveOrderList by_recency_;  // cached pages only
 };
 
 class FifoPolicy final : public OnlinePolicy {
@@ -52,8 +61,7 @@ class FifoPolicy final : public OnlinePolicy {
   }
 
  private:
-  std::vector<Time> arrival_;
-  std::set<std::pair<Time, PageId>> by_arrival_;
+  IntrusiveOrderList by_arrival_;  // insertion order == arrival order
 };
 
 class LfuPolicy final : public OnlinePolicy {
@@ -67,7 +75,7 @@ class LfuPolicy final : public OnlinePolicy {
 
  private:
   std::vector<long long> freq_;
-  std::set<std::pair<long long, PageId>> by_freq_;
+  LazyMinHeap<long long> by_freq_;  // min (freq, page), ties by page id
 };
 
 /// Randomized Marking [FKL+91]: phase-based, evicts a uniformly random
@@ -108,7 +116,9 @@ class BeladyPolicy final : public OnlinePolicy {
  private:
   std::vector<std::vector<Time>> occurrences_;  // per page, ascending
   std::vector<std::size_t> cursor_;             // next occurrence index
-  std::set<std::pair<Time, PageId>> by_next_;   // cached pages by next use
+  // Max-heap on (next use, page): pop() is std::set's rbegin() victim
+  // (farthest next use, largest page id among never-again ties).
+  LazyMinHeap<Time, std::greater<std::pair<Time, PageId>>> by_next_;
 
   [[nodiscard]] Time next_use(PageId p) const;
 };
@@ -125,10 +135,10 @@ class GreedyDualPolicy final : public OnlinePolicy {
   }
 
  private:
-  const BlockMap* blocks_ = nullptr;
   double offset_ = 0;
+  std::vector<double> page_cost_;  // block cost per page, precomputed
   std::vector<double> credit_;  // absolute credit; effective = credit-offset
-  std::set<std::pair<double, PageId>> by_credit_;
+  LazyMinHeap<double> by_credit_;  // min absolute credit, ties by page id
 };
 
 /// LRU over whole blocks: on overflow, flush the least-recently-used block
@@ -148,11 +158,9 @@ class BlockLruPolicy final : public OnlinePolicy {
 
  private:
   bool prefetch_;
-  std::vector<Time> block_used_;
-  std::set<std::pair<Time, BlockId>> by_recency_;  // blocks with cached pages
-  std::vector<int> cached_count_;                  // cached pages per block
+  IntrusiveOrderList by_recency_;  // blocks with cached pages, LRU first
+  std::vector<int> cached_count_;  // cached pages per block
 
-  void touch(BlockId b, Time t);
   void note_evicted(BlockId b, int n_evicted);
 };
 

@@ -3,20 +3,15 @@
 namespace bac {
 
 void FifoPolicy::reset(const Instance& inst) {
-  arrival_.assign(static_cast<std::size_t>(inst.n_pages()), 0);
-  by_arrival_.clear();
+  by_arrival_.reset(inst.n_pages());
 }
 
-void FifoPolicy::on_request(Time t, PageId p, CacheOps& cache) {
+void FifoPolicy::on_request(Time /*t*/, PageId p, CacheOps& cache) {
   if (cache.contains(p)) return;
-  if (cache.size() >= cache.capacity()) {
-    const auto victim = *by_arrival_.begin();
-    by_arrival_.erase(by_arrival_.begin());
-    cache.evict(victim.second);
-  }
+  if (cache.size() >= cache.capacity())
+    cache.evict(by_arrival_.pop_front());
   cache.fetch(p);
-  arrival_[static_cast<std::size_t>(p)] = t;
-  by_arrival_.insert({t, p});
+  by_arrival_.push_back(p);
 }
 
 }  // namespace bac

@@ -3,23 +3,18 @@
 namespace bac {
 
 void LruPolicy::reset(const Instance& inst) {
-  last_used_.assign(static_cast<std::size_t>(inst.n_pages()), 0);
-  by_recency_.clear();
+  by_recency_.reset(inst.n_pages());
 }
 
-void LruPolicy::on_request(Time t, PageId p, CacheOps& cache) {
+void LruPolicy::on_request(Time /*t*/, PageId p, CacheOps& cache) {
   if (cache.contains(p)) {
-    by_recency_.erase({last_used_[static_cast<std::size_t>(p)], p});
+    by_recency_.erase(p);
   } else {
-    if (cache.size() >= cache.capacity()) {
-      const auto victim = *by_recency_.begin();
-      by_recency_.erase(by_recency_.begin());
-      cache.evict(victim.second);
-    }
+    if (cache.size() >= cache.capacity())
+      cache.evict(by_recency_.pop_front());
     cache.fetch(p);
   }
-  last_used_[static_cast<std::size_t>(p)] = t;
-  by_recency_.insert({t, p});
+  by_recency_.push_back(p);
 }
 
 }  // namespace bac

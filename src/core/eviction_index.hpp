@@ -1,0 +1,292 @@
+// Flat, page-indexed eviction-index primitives for the simulation hot path.
+//
+// Every classical policy orders its eviction candidates somehow — by
+// recency, arrival, frequency, credit, or next use. The textbook container
+// for that is std::set<std::pair<Key, PageId>>: a node-allocating red-black
+// tree touched 1-3 times per request. Both orders the policies actually
+// need admit flat array structures with no per-operation allocation:
+//
+//   - IntrusiveOrderList: a doubly-linked list threaded through two
+//     std::vector<int32_t> (prev/next per id). Recency and arrival orders
+//     insert strictly increasing timestamps, so set order == insertion
+//     order and O(1) push_back/erase/pop_front reproduce it exactly.
+//   - LazyMinHeap<Key>: a 4-ary heap over a flat entry array with lazy
+//     deletion. Priority orders (LFU frequency, GreedyDual credit, Belady
+//     next-use) update keys on hits; instead of erasing the old entry we
+//     bump the id's epoch, push a fresh entry, and skip stale entries
+//     (stamp != current epoch) at pop time. Ties break on id through the
+//     pair comparator, matching std::set<std::pair<Key, id>> exactly.
+//
+// Both structures reuse their storage across reset() calls, so a policy
+// swept over thousands of (workload, k) cells stops hammering the
+// allocator — reset is O(n) writes into vectors that are already sized.
+//
+// Determinism: pop() always extracts the comparator-minimum *valid* entry,
+// which is unique (at most one valid entry per id), so results are
+// independent of the heap's internal layout. Policies rewritten from
+// std::set onto these primitives produce bit-identical schedules; the
+// verify subsystem's policy_equivalence oracle family replays randomized
+// instances against frozen std::set reference twins to prove it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace bac {
+
+/// Doubly-linked list over dense ids [0, n) with O(1) push_back / erase /
+/// pop_front and no allocation after reset(). Iteration order is insertion
+/// order; for timestamp-keyed recency sets (strictly increasing keys) that
+/// is exactly std::set order with front() == the minimum.
+class IntrusiveOrderList {
+ public:
+  static constexpr std::int32_t kNone = -1;
+
+  /// Size for ids [0, n), dropping all links. Storage is reused: after the
+  /// first reset at a given n, subsequent resets allocate nothing.
+  void reset(int n) {
+    prev_.assign(static_cast<std::size_t>(n), kUnlinked);
+    next_.assign(static_cast<std::size_t>(n), kUnlinked);
+    head_ = tail_ = kNone;
+    size_ = 0;
+  }
+
+  [[nodiscard]] bool contains(std::int32_t id) const noexcept {
+    return prev_[static_cast<std::size_t>(id)] != kUnlinked;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] int size() const noexcept { return size_; }
+  /// Oldest id, or kNone when empty.
+  [[nodiscard]] std::int32_t front() const noexcept { return head_; }
+  /// Ids the list was reset() for (capacity of the id space, not size()).
+  [[nodiscard]] int id_limit() const noexcept {
+    return static_cast<int>(prev_.size());
+  }
+
+  /// Append id as most-recent. Precondition: !contains(id).
+  void push_back(std::int32_t id) {
+    const auto i = static_cast<std::size_t>(id);
+    prev_[i] = tail_;
+    next_[i] = kNone;
+    if (tail_ != kNone) next_[static_cast<std::size_t>(tail_)] = id;
+    tail_ = id;
+    if (head_ == kNone) head_ = id;
+    ++size_;
+  }
+
+  /// Unlink id. Precondition: contains(id).
+  void erase(std::int32_t id) {
+    const auto i = static_cast<std::size_t>(id);
+    const std::int32_t p = prev_[i];
+    const std::int32_t n = next_[i];
+    if (p != kNone) next_[static_cast<std::size_t>(p)] = n;
+    else head_ = n;
+    if (n != kNone) prev_[static_cast<std::size_t>(n)] = p;
+    else tail_ = p;
+    prev_[i] = next_[i] = kUnlinked;
+    --size_;
+  }
+
+  /// Remove and return the oldest id (kNone when empty).
+  std::int32_t pop_front() {
+    const std::int32_t id = head_;
+    if (id != kNone) erase(id);
+    return id;
+  }
+
+  /// Move id to most-recent, inserting it if absent (the LRU "touch").
+  void touch(std::int32_t id) {
+    if (contains(id)) erase(id);
+    push_back(id);
+  }
+
+ private:
+  static constexpr std::int32_t kUnlinked = -2;  ///< id not in the list
+  std::vector<std::int32_t> prev_;  ///< kNone at head, kUnlinked if absent
+  std::vector<std::int32_t> next_;
+  std::int32_t head_ = kNone;
+  std::int32_t tail_ = kNone;
+  int size_ = 0;
+};
+
+/// 4-ary min-heap over (Key, id) pairs with lazy deletion, for priority
+/// eviction orders whose keys change on hits. `PairLess` orders the pairs
+/// (std::less reproduces std::set<std::pair<Key, id>>::begin as pop();
+/// std::greater turns it into a max-heap, reproducing rbegin()).
+///
+/// Key updates do not search the heap: the id's epoch is bumped (making
+/// any older entry stale) and a freshly stamped entry is pushed. pop()
+/// discards stale entries from the root until a valid one surfaces. The
+/// entry array self-compacts when stale entries outnumber live ones, so
+/// memory stays O(live + transient stale) and no stale entry survives a
+/// compaction — which also makes the 32-bit epoch safe: the epoch only
+/// wraps after 2^32 bumps of one id, and the wrap triggers a compaction
+/// first, so a wrapped stamp can never alias a surviving stale entry.
+template <typename Key,
+          typename PairLess = std::less<std::pair<Key, std::int32_t>>>
+class LazyMinHeap {
+ public:
+  /// Size for ids [0, n), dropping all entries. Storage (the entry array
+  /// and the per-id epoch/membership tables) is reused across resets.
+  void reset(int n) {
+    entries_.clear();
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+    in_.assign(static_cast<std::size_t>(n), 0);
+    live_ = 0;
+  }
+
+  [[nodiscard]] bool contains(std::int32_t id) const noexcept {
+    return in_[static_cast<std::size_t>(id)] != 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] int size() const noexcept { return live_; }
+
+  /// Insert id with `key`. Precondition: !contains(id).
+  void push(std::int32_t id, Key key) {
+    in_[static_cast<std::size_t>(id)] = 1;
+    push_entry(id, key);
+    ++live_;
+  }
+
+  /// Change id's key (hit-path refresh). Precondition: contains(id).
+  void update(std::int32_t id, Key key) {
+    bump_epoch(id);  // strands the old entry as stale
+    push_entry(id, key);
+  }
+
+  /// Remove id without extracting it. Precondition: contains(id).
+  void erase(std::int32_t id) {
+    in_[static_cast<std::size_t>(id)] = 0;
+    --live_;
+    bump_epoch(id);
+  }
+
+  /// Extract the comparator-minimum valid entry into (id, key); false when
+  /// empty. Deterministic: the valid minimum is unique, so the result does
+  /// not depend on the heap's internal layout.
+  bool pop(std::int32_t& id, Key& key) {
+    for (;;) {
+      if (entries_.empty()) return false;
+      const Entry top = entries_.front();
+      remove_root();
+      if (!valid(top)) continue;
+      id = top.id;
+      key = top.key;
+      in_[static_cast<std::size_t>(id)] = 0;
+      --live_;
+      bump_epoch(id);
+      return true;
+    }
+  }
+
+  /// Entries currently stored, including stale ones (introspection/tests).
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] std::size_t entry_capacity() const noexcept {
+    return entries_.capacity();
+  }
+
+  /// Drop every stale entry and restore the heap property. O(entries).
+  void compact() {
+    std::size_t kept = 0;
+    for (const Entry& e : entries_)
+      if (valid(e)) entries_[kept++] = e;
+    entries_.resize(kept);
+    // Floyd heapify: sift down from the last internal node.
+    if (kept > 1)
+      for (std::size_t i = (kept - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+
+  /// Test-only: read / force an id's epoch (to exercise the wrap path
+  /// without 2^32 updates). Forcing an epoch strands the id's current
+  /// entry, so only use it on ids that are not in the heap.
+  [[nodiscard]] std::uint32_t debug_epoch(std::int32_t id) const noexcept {
+    return epoch_[static_cast<std::size_t>(id)];
+  }
+  void debug_set_epoch(std::int32_t id, std::uint32_t e) noexcept {
+    epoch_[static_cast<std::size_t>(id)] = e;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::int32_t id;
+    std::uint32_t epoch;  ///< stale unless == epoch_[id]
+  };
+
+  [[nodiscard]] bool valid(const Entry& e) const noexcept {
+    const auto i = static_cast<std::size_t>(e.id);
+    return in_[i] != 0 && epoch_[i] == e.epoch;
+  }
+
+  [[nodiscard]] bool entry_less(const Entry& a, const Entry& b) const {
+    return PairLess{}(std::pair<Key, std::int32_t>(a.key, a.id),
+                      std::pair<Key, std::int32_t>(b.key, b.id));
+  }
+
+  void bump_epoch(std::int32_t id) {
+    auto& e = epoch_[static_cast<std::size_t>(id)];
+    if (e == std::numeric_limits<std::uint32_t>::max()) compact();
+    ++e;  // wraps to 0 after a compaction purged all stale entries
+  }
+
+  void push_entry(std::int32_t id, Key key) {
+    // Amortized stale control: when stale entries outnumber live ones 3:1
+    // (and the array is past a trivial size), purge them before growing.
+    // The ratio trades a little memory for compaction frequency: after a
+    // compact the array is all-live, so 3*live pushes are amortized
+    // against each O(entries) purge.
+    if (entries_.size() > 64 &&
+        entries_.size() > 4 * static_cast<std::size_t>(live_) + 1)
+      compact();
+    entries_.push_back(
+        Entry{key, id, epoch_[static_cast<std::size_t>(id)]});
+    sift_up(entries_.size() - 1);
+  }
+
+  void remove_root() {
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) sift_down(0);
+  }
+
+  void sift_up(std::size_t i) {
+    const Entry e = entries_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!entry_less(e, entries_[parent])) break;
+      entries_[i] = entries_[parent];
+      i = parent;
+    }
+    entries_[i] = e;
+  }
+
+  void sift_down(std::size_t i) {
+    const Entry e = entries_[i];
+    const std::size_t n = entries_.size();
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= n) break;
+      const std::size_t last_child = std::min(first_child + 4, n);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c)
+        if (entry_less(entries_[c], entries_[best])) best = c;
+      if (!entry_less(entries_[best], e)) break;
+      entries_[i] = entries_[best];
+      i = best;
+    }
+    entries_[i] = e;
+  }
+
+  std::vector<Entry> entries_;        ///< heap array, live + stale
+  std::vector<std::uint32_t> epoch_;  ///< per id: current stamp
+  std::vector<char> in_;              ///< per id: has a valid entry
+  int live_ = 0;
+};
+
+}  // namespace bac

@@ -124,51 +124,63 @@ void SyntheticSource::reset_state() {
   }
 }
 
-bool SyntheticSource::next(PageId& p) {
-  if (t_ >= T_) return false;
+bool SyntheticSource::next(PageId& p) { return next_batch(&p, 1) == 1; }
+
+int SyntheticSource::next_batch(PageId* out, int cap) {
+  if (cap <= 0 || t_ >= T_) return 0;
+  const long long remaining = T_ - t_;
+  const int m =
+      remaining < cap ? static_cast<int>(remaining) : cap;
+  const int n = header_.n_pages();
   switch (kind_) {
     case Kind::Uniform:
-      p = static_cast<PageId>(
-          rng_.below(static_cast<std::uint64_t>(header_.n_pages())));
+      for (int i = 0; i < m; ++i)
+        out[i] =
+            static_cast<PageId>(rng_.below(static_cast<std::uint64_t>(n)));
       break;
-    case Kind::Zipf: {
-      const double u = rng_.uniform() * total_;
-      const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
-      p = static_cast<PageId>(it - cum_.begin());
-      if (p >= header_.n_pages()) p = header_.n_pages() - 1;
-      break;
-    }
-    case Kind::Scan:
-      p = static_cast<PageId>(t_ % header_.n_pages());
-      break;
-    case Kind::Phased: {
-      if (t_ % phase_len_ == 0) {
-        // Fresh working set via partial Fisher-Yates, like phased_trace.
-        const int n = header_.n_pages();
-        for (int i = 0; i < ws_size_; ++i) {
-          const auto j = static_cast<std::size_t>(rng_.range(i, n - 1));
-          std::swap(universe_[static_cast<std::size_t>(i)], universe_[j]);
-        }
-        ws_.assign(universe_.begin(), universe_.begin() + ws_size_);
-      }
-      p = ws_[static_cast<std::size_t>(
-          rng_.below(static_cast<std::uint64_t>(ws_size_)))];
-      break;
-    }
-    case Kind::BlockLocal: {
-      if (!rng_.bernoulli(stay_)) {
+    case Kind::Zipf:
+      for (int i = 0; i < m; ++i) {
         const double u = rng_.uniform() * total_;
         const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
-        current_block_ = static_cast<BlockId>(std::min<std::ptrdiff_t>(
-            it - cum_.begin(), header_.blocks.n_blocks() - 1));
+        PageId p = static_cast<PageId>(it - cum_.begin());
+        if (p >= n) p = n - 1;
+        out[i] = p;
       }
-      const auto pages = header_.blocks.pages_in(current_block_);
-      p = pages[static_cast<std::size_t>(rng_.below(pages.size()))];
       break;
-    }
+    case Kind::Scan:
+      for (int i = 0; i < m; ++i)
+        out[i] = static_cast<PageId>((t_ + i) % n);
+      break;
+    case Kind::Phased:
+      for (int i = 0; i < m; ++i) {
+        if ((t_ + i) % phase_len_ == 0) {
+          // Fresh working set via partial Fisher-Yates, like phased_trace.
+          for (int j = 0; j < ws_size_; ++j) {
+            const auto r = static_cast<std::size_t>(rng_.range(j, n - 1));
+            std::swap(universe_[static_cast<std::size_t>(j)], universe_[r]);
+          }
+          ws_.assign(universe_.begin(), universe_.begin() + ws_size_);
+        }
+        out[i] = ws_[static_cast<std::size_t>(
+            rng_.below(static_cast<std::uint64_t>(ws_size_)))];
+      }
+      break;
+    case Kind::BlockLocal:
+      for (int i = 0; i < m; ++i) {
+        if (!rng_.bernoulli(stay_)) {
+          const double u = rng_.uniform() * total_;
+          const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+          current_block_ = static_cast<BlockId>(std::min<std::ptrdiff_t>(
+              it - cum_.begin(), header_.blocks.n_blocks() - 1));
+        }
+        const auto pages = header_.blocks.pages_in(current_block_);
+        out[i] =
+            pages[static_cast<std::size_t>(rng_.below(pages.size()))];
+      }
+      break;
   }
-  ++t_;
-  return true;
+  t_ += m;
+  return m;
 }
 
 void SyntheticSource::rewind() { reset_state(); }

@@ -14,11 +14,21 @@
 //     `requests` is empty and materialized() is false.
 //   - next() yields requests in order; rewind() restarts the stream so
 //     Monte-Carlo trials can replay the same sequence.
+//   - next_batch() drains up to `cap` requests into a caller buffer in one
+//     virtual call; sources override it with tight decode loops. It must
+//     be behaviourally identical to a next() loop: same requests in the
+//     same order, same exceptions, and 0 returned exactly at end of
+//     stream (a partial batch < cap is only ever the final one). next()
+//     and next_batch() share the stream position and may be mixed.
 //   - horizon_hint() is the number of requests when known upfront
-//     (reserve() sizing), or -1 for open-ended streams.
+//     (reserve() sizing), or -1 for open-ended streams. It is a hint:
+//     the stream end is still signalled by next()/next_batch(), so a
+//     consumer must not trust it to stop early.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -42,6 +52,17 @@ class RequestSource {
 
   /// Yield the next request into `p`; false at end of stream.
   virtual bool next(PageId& p) = 0;
+
+  /// Fill out[0, cap) with the next requests; returns how many were
+  /// written, 0 exactly at end of stream. The default loops over next();
+  /// overrides replace the per-request virtual dispatch with one tight
+  /// decode/copy loop per batch (the simulate() hot path consumes the
+  /// stream in 512-request batches).
+  virtual int next_batch(PageId* out, int cap) {
+    int i = 0;
+    while (i < cap && next(out[i])) ++i;
+    return i;
+  }
 
   /// Restart from the first request.
   virtual void rewind() = 0;
@@ -69,6 +90,16 @@ class InstanceSource final : public RequestSource {
     if (pos_ >= inst_->requests.size()) return false;
     p = inst_->requests[pos_++];
     return true;
+  }
+  int next_batch(PageId* out, int cap) override {
+    if (cap <= 0 || pos_ >= inst_->requests.size()) return 0;
+    const std::size_t avail = inst_->requests.size() - pos_;
+    const auto m = static_cast<int>(
+        std::min(static_cast<std::size_t>(cap), avail));
+    std::memcpy(out, inst_->requests.data() + pos_,
+                static_cast<std::size_t>(m) * sizeof(PageId));
+    pos_ += static_cast<std::size_t>(m);
+    return m;
   }
   void rewind() override { pos_ = 0; }
 
@@ -114,6 +145,9 @@ class SyntheticSource final : public RequestSource {
   [[nodiscard]] const Instance& context() const override { return header_; }
   [[nodiscard]] long long horizon_hint() const override { return T_; }
   bool next(PageId& p) override;
+  /// One switch on the generator kind per batch instead of per request;
+  /// draws the exact same RNG sequence as a next() loop.
+  int next_batch(PageId* out, int cap) override;
   void rewind() override;
 
  private:

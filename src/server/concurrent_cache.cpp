@@ -88,6 +88,31 @@ bool ConcurrentCache::get(PageId p) {
       ->get(p);
 }
 
+long long ConcurrentCache::get_batch(const PageId* ps, int n) {
+  long long hits = 0;
+  int i = 0;
+  while (i < n) {
+    const PageId p = ps[i];
+    if (p < 0 || p >= context_.n_pages())
+      throw std::out_of_range("ConcurrentCache: page " + std::to_string(p) +
+                              " outside [0, " +
+                              std::to_string(context_.n_pages()) + ")");
+    const std::int32_t s = page_shard_[static_cast<std::size_t>(p)];
+    // Extend the run while the owning shard stays the same.
+    int j = i + 1;
+    while (j < n) {
+      const PageId q = ps[j];
+      if (q < 0 || q >= context_.n_pages())
+        break;  // re-diagnosed (and thrown) at the top of the next run
+      if (page_shard_[static_cast<std::size_t>(q)] != s) break;
+      ++j;
+    }
+    hits += shards_[static_cast<std::size_t>(s)]->get_batch(ps + i, j - i);
+    i = j;
+  }
+  return hits;
+}
+
 int ConcurrentCache::shard_of(PageId p) const {
   if (p < 0 || p >= context_.n_pages())
     throw std::out_of_range("ConcurrentCache: page " + std::to_string(p) +

@@ -74,6 +74,14 @@ class ConcurrentCache {
   /// Throws std::out_of_range for pages outside the context's universe.
   bool get(PageId p);
 
+  /// Serve `n` requests in order; returns the hit count. Consecutive
+  /// requests owned by the same shard are served under one lock
+  /// acquisition (CacheShard::get_batch), so a dispatch whose lanes are
+  /// shard-partitioned pays ~1 lock per 512 requests instead of one per
+  /// request. Per-shard request order — and therefore every cost and
+  /// counter — is identical to n get() calls at any thread count.
+  long long get_batch(const PageId* ps, int n);
+
   [[nodiscard]] int n_shards() const noexcept {
     return static_cast<int>(shards_.size());
   }

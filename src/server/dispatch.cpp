@@ -13,6 +13,10 @@ namespace bac::server {
 
 namespace {
 
+/// Requests a worker hands to ConcurrentCache::get_batch per call; runs
+/// of same-shard requests inside the batch share one lock acquisition.
+constexpr std::size_t kDispatchBatch = 512;
+
 /// Run one worker per lane over its request list, timing only the
 /// parallel serve: workers block on a start gate until every thread is
 /// spawned, so the wall clock excludes thread-creation cost (which
@@ -30,7 +34,10 @@ double run_workers(ConcurrentCache& cache,
       workers.emplace_back([&cache, &lane, &go, &first_error, &error_mutex] {
         while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
         try {
-          for (const PageId p : lane) cache.get(p);
+          for (std::size_t i = 0; i < lane.size(); i += kDispatchBatch)
+            cache.get_batch(
+                lane.data() + i,
+                static_cast<int>(std::min(kDispatchBatch, lane.size() - i)));
         } catch (...) {
           std::lock_guard lock(error_mutex);
           if (!first_error) first_error = std::current_exception();

@@ -19,37 +19,47 @@ CacheShard::CacheShard(const Instance& header,
   policy_->seed(seed);
 }
 
-bool CacheShard::get(PageId p) {
+bool CacheShard::get(PageId p) { return get_batch(&p, 1) == 1; }
+
+long long CacheShard::get_batch(const PageId* ps, int n) {
+  if (n <= 0) return 0;
   // Latency includes the lock wait: under closed-loop load the queueing
   // delay at a hot shard is part of the service time a client observes.
   const auto start = std::chrono::steady_clock::now();
   std::lock_guard lock(mutex_);
-  if (t_ == std::numeric_limits<Time>::max())
-    throw std::runtime_error(
-        "CacheShard: shard served 2^31-1 requests (Time is 32-bit)");
-  ++t_;
-  meter_.begin_step(t_);
-  const bool hit = cache_.contains(p);
-  if (hit)
-    ++hits_;
-  else
-    ++misses_;
-  policy_->on_request(t_, p, ops_);
-  // Feasibility audit, as in the simulator — a server must not silently
-  // repair a broken policy.
-  if (!cache_.contains(p))
-    throw std::runtime_error("CacheShard: policy " + policy_->name() +
-                             " left requested page uncached");
-  if (cache_.size() > header_->k)
-    throw std::runtime_error("CacheShard: policy " + policy_->name() +
-                             " exceeded shard capacity");
+  long long batch_hits = 0;
+  for (int i = 0; i < n; ++i) {
+    const PageId p = ps[i];
+    if (t_ == std::numeric_limits<Time>::max())
+      throw std::runtime_error(
+          "CacheShard: shard served 2^31-1 requests (Time is 32-bit)");
+    ++t_;
+    meter_.begin_step(t_);
+    const bool hit = cache_.contains(p);
+    if (hit) {
+      ++hits_;
+      ++batch_hits;
+    } else {
+      ++misses_;
+    }
+    policy_->on_request(t_, p, ops_);
+    // Feasibility audit, as in the simulator — a server must not silently
+    // repair a broken policy.
+    if (!cache_.contains(p))
+      throw std::runtime_error("CacheShard: policy " + policy_->name() +
+                               " left requested page uncached");
+    if (cache_.size() > header_->k)
+      throw std::runtime_error("CacheShard: policy " + policy_->name() +
+                               " exceeded shard capacity");
+  }
   const double us = std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - start)
-                        .count();
+                        .count() /
+                    static_cast<double>(n);
   lat_p50_.add(us);
   lat_p99_.add(us);
   lat_us_.add(us);
-  return hit;
+  return batch_hits;
 }
 
 ShardSnapshot CacheShard::snapshot() const {

@@ -175,13 +175,33 @@ Instance load_bact(const std::string& path) {
 BactSource::BactSource(const std::string& path)
     : path_(path),
       in_(path, std::ios::binary),
-      header_(open_bact_header(in_, path, declared_T_)) {
+      header_(open_bact_header(in_, path, declared_T_)),
+      buf_(64 * 1024) {
   first_request_ = in_.tellg();
 }
 
-bool BactSource::next(PageId& p) {
-  if (done_) return false;
-  const std::uint64_t v = get_varint(in_, "request");
+int BactSource::read_byte() {
+  if (buf_pos_ == buf_len_) {
+    in_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    buf_len_ = static_cast<std::size_t>(in_.gcount());
+    buf_pos_ = 0;
+    if (buf_len_ == 0) return -1;
+  }
+  return static_cast<unsigned char>(buf_[buf_pos_++]);
+}
+
+bool BactSource::decode_request(PageId& p) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = read_byte();
+    if (c < 0) throw std::runtime_error("bact: truncated request");
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64)
+      throw std::runtime_error("bact: varint overflow in request");
+  }
   if (v == 0) {
     done_ = true;
     if (declared_T_ > 0 && yielded_ != declared_T_)
@@ -198,6 +218,18 @@ bool BactSource::next(PageId& p) {
   return true;
 }
 
+bool BactSource::next(PageId& p) {
+  if (done_) return false;
+  return decode_request(p);
+}
+
+int BactSource::next_batch(PageId* out, int cap) {
+  if (done_) return 0;
+  int i = 0;
+  while (i < cap && decode_request(out[i])) ++i;
+  return i;
+}
+
 void BactSource::rewind() {
   in_.clear();
   in_.seekg(first_request_);
@@ -205,6 +237,7 @@ void BactSource::rewind() {
     throw std::runtime_error("bact: rewind failed on " + path_);
   yielded_ = 0;
   done_ = false;
+  buf_pos_ = buf_len_ = 0;
 }
 
 }  // namespace bac

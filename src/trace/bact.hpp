@@ -25,6 +25,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/instance.hpp"
 #include "core/request_source.hpp"
@@ -65,8 +66,11 @@ void save_bact(const Instance& inst, const std::string& path);
 /// Materialize a .bact file into an Instance (small traces / tests).
 Instance load_bact(const std::string& path);
 
-/// Streaming source over a .bact file; one buffered file handle, O(1)
-/// request memory. rewind() seeks back to the first request.
+/// Streaming source over a .bact file; O(1) request memory. The request
+/// section is decoded from a private 64 KiB read buffer (istream::get
+/// costs a sentry per byte; refilling via read() costs one per 64 KiB),
+/// so next_batch() is a tight varint loop. rewind() seeks back to the
+/// first request and drops the buffer.
 class BactSource final : public RequestSource {
  public:
   explicit BactSource(const std::string& path);
@@ -76,9 +80,15 @@ class BactSource final : public RequestSource {
     return declared_T_ > 0 ? declared_T_ : -1;
   }
   bool next(PageId& p) override;
+  int next_batch(PageId* out, int cap) override;
   void rewind() override;
 
  private:
+  /// Next raw byte of the request section, or -1 at end of file.
+  int read_byte();
+  /// Decode one request varint; true into `p`, false at the sentinel.
+  bool decode_request(PageId& p);
+
   std::string path_;
   std::ifstream in_;
   long long declared_T_ = 0;  ///< written by header_'s initializer; keep first
@@ -86,6 +96,9 @@ class BactSource final : public RequestSource {
   std::streampos first_request_;
   long long yielded_ = 0;
   bool done_ = false;
+  std::vector<char> buf_;     ///< read-ahead over the request section
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_len_ = 0;
 };
 
 }  // namespace bac

@@ -1,9 +1,13 @@
 // Minimal JSON emission helpers shared by the bench harness and the
-// bacsim sweep driver, so every tool writes byte-compatible records.
+// bacsim sweep driver, so every tool writes byte-compatible records —
+// plus a small read-side parser so tools can load the records back
+// (e.g. `bench_perf --compare` against a committed baseline).
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace bac {
 
@@ -12,5 +16,33 @@ void write_json_string(std::ostream& os, const std::string& s);
 
 /// Emit a double; values JSON cannot represent (inf/nan) become null.
 void write_json_number(std::ostream& os, double x);
+
+/// One parsed JSON value. Numbers are doubles (the emitters above write
+/// nothing wider); object members keep file order.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            ///< Kind::Array
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< Kind::Object
+
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// find() + number extraction; `fallback` when absent or non-numeric.
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const;
+  /// find() + string extraction; `fallback` when absent or non-string.
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+};
+
+/// Parse a complete JSON document; throws std::runtime_error (with the
+/// byte offset) on malformed input or trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+/// Read and parse a JSON file; throws std::runtime_error on I/O errors.
+JsonValue load_json_file(const std::string& path);
 
 }  // namespace bac

@@ -13,6 +13,7 @@
 #include "core/simulator.hpp"
 #include "server/concurrent_cache.hpp"
 #include "server/dispatch.hpp"
+#include "verify/reference_policies.hpp"
 
 namespace bac::verify {
 
@@ -325,6 +326,27 @@ std::vector<Violation> check_schedule_replay(const GeneratedInstance& gi,
   return out;
 }
 
+// --- policy_equivalence -----------------------------------------------------
+
+std::vector<Violation> check_policy_equivalence(const GeneratedInstance& gi,
+                                                const OracleOptions& options) {
+  std::vector<Violation> out;
+  for (auto& [name, ref] : reference_policy_twins()) {
+    std::unique_ptr<OnlinePolicy> prod;
+    try {
+      prod = make_policy(name);
+    } catch (const std::exception& e) {
+      report(out, "policy_equivalence",
+             "registry lookup for '" + name + "' failed: " + e.what());
+      continue;
+    }
+    for (const std::string& msg :
+         diff_policy_runs(gi.inst, *prod, *ref, options.seed, name))
+      report(out, "policy_equivalence", msg);
+  }
+  return out;
+}
+
 // --- mc_equivalence ---------------------------------------------------------
 
 /// Forwards everything but clone(), forcing simulate_mc down its serial
@@ -432,6 +454,7 @@ constexpr Family kFamilies[] = {
     {"cost_model", check_cost_model},
     {"streaming", check_streaming},
     {"schedule_replay", check_schedule_replay},
+    {"policy_equivalence", check_policy_equivalence},
     {"mc_equivalence", check_mc_equivalence},
     {"concurrency", check_concurrency},
 };

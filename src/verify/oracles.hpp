@@ -24,6 +24,13 @@
 //   schedule_replay  record_schedule capture replays through
 //                    replay_schedule() to the same final state, and to
 //                    identical costs when no transient was netted out.
+//   policy_equivalence
+//                    every flat-index classical policy (LRU, FIFO, LFU,
+//                    Belady, GreedyDual, BlockLRU±prefetch) replays to
+//                    bit-identical costs, counters, and per-step schedule
+//                    sets against its frozen std::set reference twin
+//                    (verify/reference_policies.hpp) — the golden-corpus
+//                    semantics, checked on arbitrary fuzzed instances.
 //   mc_equivalence   simulate_mc parallel (clone-sharded) == forced-serial
 //                    replay, bit for bit.
 //   concurrency      ConcurrentCache + serve_partitioned at 1 thread ==

@@ -1,0 +1,340 @@
+#include "verify/reference_policies.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "core/simulator.hpp"
+
+namespace bac::verify {
+
+namespace {
+
+// --- the frozen std::set policies ------------------------------------------
+// Each class is the pre-flat-index implementation from algs/classical/,
+// kept verbatim (modulo the Ref name) as the equivalence specification.
+
+class RefLruPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "RefLRU"; }
+  void reset(const Instance& inst) override {
+    last_used_.assign(static_cast<std::size_t>(inst.n_pages()), 0);
+    by_recency_.clear();
+  }
+  void on_request(Time t, PageId p, CacheOps& cache) override {
+    if (cache.contains(p)) {
+      by_recency_.erase({last_used_[static_cast<std::size_t>(p)], p});
+    } else {
+      if (cache.size() >= cache.capacity()) {
+        const auto victim = *by_recency_.begin();
+        by_recency_.erase(by_recency_.begin());
+        cache.evict(victim.second);
+      }
+      cache.fetch(p);
+    }
+    last_used_[static_cast<std::size_t>(p)] = t;
+    by_recency_.insert({t, p});
+  }
+
+ private:
+  std::vector<Time> last_used_;
+  std::set<std::pair<Time, PageId>> by_recency_;
+};
+
+class RefFifoPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "RefFIFO"; }
+  void reset(const Instance& inst) override {
+    arrival_.assign(static_cast<std::size_t>(inst.n_pages()), 0);
+    by_arrival_.clear();
+  }
+  void on_request(Time t, PageId p, CacheOps& cache) override {
+    if (cache.contains(p)) return;
+    if (cache.size() >= cache.capacity()) {
+      const auto victim = *by_arrival_.begin();
+      by_arrival_.erase(by_arrival_.begin());
+      cache.evict(victim.second);
+    }
+    cache.fetch(p);
+    arrival_[static_cast<std::size_t>(p)] = t;
+    by_arrival_.insert({t, p});
+  }
+
+ private:
+  std::vector<Time> arrival_;
+  std::set<std::pair<Time, PageId>> by_arrival_;
+};
+
+class RefLfuPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "RefLFU"; }
+  void reset(const Instance& inst) override {
+    freq_.assign(static_cast<std::size_t>(inst.n_pages()), 0);
+    by_freq_.clear();
+  }
+  void on_request(Time /*t*/, PageId p, CacheOps& cache) override {
+    auto& f = freq_[static_cast<std::size_t>(p)];
+    if (cache.contains(p)) {
+      by_freq_.erase({f, p});
+      ++f;
+      by_freq_.insert({f, p});
+      return;
+    }
+    if (cache.size() >= cache.capacity()) {
+      const auto victim = *by_freq_.begin();
+      by_freq_.erase(by_freq_.begin());
+      cache.evict(victim.second);
+    }
+    cache.fetch(p);
+    ++f;
+    by_freq_.insert({f, p});
+  }
+
+ private:
+  std::vector<long long> freq_;
+  std::set<std::pair<long long, PageId>> by_freq_;
+};
+
+class RefBeladyPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "RefBelady"; }
+  [[nodiscard]] bool requires_future() const override { return true; }
+  void reset(const Instance& inst) override {
+    const auto n = static_cast<std::size_t>(inst.n_pages());
+    occurrences_.assign(n, {});
+    cursor_.assign(n, 0);
+    by_next_.clear();
+    for (Time t = 1; t <= inst.horizon(); ++t)
+      occurrences_[static_cast<std::size_t>(inst.request_at(t))].push_back(t);
+  }
+  void on_request(Time /*t*/, PageId p, CacheOps& cache) override {
+    const bool hit = cache.contains(p);
+    if (hit) by_next_.erase({next_use(p), p});
+    ++cursor_[static_cast<std::size_t>(p)];
+    if (!hit) {
+      if (cache.size() >= cache.capacity()) {
+        const auto victim = *by_next_.rbegin();  // farthest next use
+        by_next_.erase(std::prev(by_next_.end()));
+        cache.evict(victim.second);
+      }
+      cache.fetch(p);
+    }
+    by_next_.insert({next_use(p), p});
+  }
+
+ private:
+  [[nodiscard]] Time next_use(PageId p) const {
+    const auto& occ = occurrences_[static_cast<std::size_t>(p)];
+    const std::size_t c = cursor_[static_cast<std::size_t>(p)];
+    return c < occ.size() ? occ[c] : static_cast<Time>(1) << 30;
+  }
+
+  std::vector<std::vector<Time>> occurrences_;
+  std::vector<std::size_t> cursor_;
+  std::set<std::pair<Time, PageId>> by_next_;
+};
+
+class RefGreedyDualPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "RefGreedyDual"; }
+  void reset(const Instance& inst) override {
+    blocks_ = &inst.blocks;
+    offset_ = 0;
+    credit_.assign(static_cast<std::size_t>(inst.n_pages()), 0.0);
+    by_credit_.clear();
+  }
+  void on_request(Time /*t*/, PageId p, CacheOps& cache) override {
+    const double cost = blocks_->cost(blocks_->block_of(p));
+    if (cache.contains(p)) {
+      by_credit_.erase({credit_[static_cast<std::size_t>(p)], p});
+      credit_[static_cast<std::size_t>(p)] = offset_ + cost;
+      by_credit_.insert({credit_[static_cast<std::size_t>(p)], p});
+      return;
+    }
+    if (cache.size() >= cache.capacity()) {
+      const auto victim = *by_credit_.begin();
+      by_credit_.erase(by_credit_.begin());
+      offset_ = victim.first;
+      cache.evict(victim.second);
+    }
+    cache.fetch(p);
+    credit_[static_cast<std::size_t>(p)] = offset_ + cost;
+    by_credit_.insert({credit_[static_cast<std::size_t>(p)], p});
+  }
+
+ private:
+  const BlockMap* blocks_ = nullptr;
+  double offset_ = 0;
+  std::vector<double> credit_;
+  std::set<std::pair<double, PageId>> by_credit_;
+};
+
+class RefBlockLruPolicy final : public OnlinePolicy {
+ public:
+  explicit RefBlockLruPolicy(bool prefetch) : prefetch_(prefetch) {}
+  [[nodiscard]] std::string name() const override {
+    return prefetch_ ? "RefBlockLRU+Prefetch" : "RefBlockLRU";
+  }
+  void reset(const Instance& inst) override {
+    const auto m = static_cast<std::size_t>(inst.blocks.n_blocks());
+    block_used_.assign(m, 0);
+    by_recency_.clear();
+    cached_count_.assign(m, 0);
+  }
+  void on_request(Time t, PageId p, CacheOps& cache) override {
+    const BlockId b = cache.blocks().block_of(p);
+    touch(b, t);
+    if (!cache.contains(p)) {
+      int fetched = 0;
+      if (prefetch_) {
+        for (PageId q : cache.blocks().pages_in(b)) {
+          if (!cache.contains(q)) {
+            cache.fetch(q);
+            ++fetched;
+          }
+        }
+      } else {
+        cache.fetch(p);
+        fetched = 1;
+      }
+      cached_count_[static_cast<std::size_t>(b)] += fetched;
+      while (cache.size() > cache.capacity()) {
+        auto it = by_recency_.begin();
+        const BlockId victim = it->second;
+        by_recency_.erase(it);
+        const int evicted = cache.flush_block(victim);
+        note_evicted(victim, evicted);
+        if (cache.size() > cache.capacity() &&
+            cached_count_[static_cast<std::size_t>(b)] > 0 &&
+            by_recency_.empty()) {
+          const int shed = cache.flush_block(b, p);
+          note_evicted(b, shed);
+        }
+      }
+    }
+    by_recency_.insert({t, b});
+  }
+
+ private:
+  void touch(BlockId b, Time t) {
+    if (cached_count_[static_cast<std::size_t>(b)] > 0)
+      by_recency_.erase({block_used_[static_cast<std::size_t>(b)], b});
+    block_used_[static_cast<std::size_t>(b)] = t;
+  }
+  void note_evicted(BlockId b, int n_evicted) {
+    cached_count_[static_cast<std::size_t>(b)] -= n_evicted;
+  }
+
+  bool prefetch_;
+  std::vector<Time> block_used_;
+  std::set<std::pair<Time, BlockId>> by_recency_;
+  std::vector<int> cached_count_;
+};
+
+// --- run comparison ---------------------------------------------------------
+
+std::string fmt17(double x) {
+  std::ostringstream os;
+  os.precision(17);
+  os << x;
+  return os.str();
+}
+
+std::vector<PageId> sorted(std::vector<PageId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::unique_ptr<OnlinePolicy>>>
+reference_policy_twins() {
+  std::vector<std::pair<std::string, std::unique_ptr<OnlinePolicy>>> twins;
+  twins.emplace_back("lru", std::make_unique<RefLruPolicy>());
+  twins.emplace_back("fifo", std::make_unique<RefFifoPolicy>());
+  twins.emplace_back("lfu", std::make_unique<RefLfuPolicy>());
+  twins.emplace_back("belady", std::make_unique<RefBeladyPolicy>());
+  twins.emplace_back("greedy_dual", std::make_unique<RefGreedyDualPolicy>());
+  twins.emplace_back("block_lru",
+                     std::make_unique<RefBlockLruPolicy>(false));
+  twins.emplace_back("block_lru_prefetch",
+                     std::make_unique<RefBlockLruPolicy>(true));
+  return twins;
+}
+
+std::vector<std::string> diff_policy_runs(const Instance& inst,
+                                          OnlinePolicy& a, OnlinePolicy& b,
+                                          std::uint64_t seed,
+                                          const std::string& label) {
+  std::vector<std::string> out;
+  SimOptions sim;
+  sim.seed = seed;
+  sim.record_schedule = true;
+  sim.record_sketch = false;
+  RunResult ra, rb;
+  try {
+    ra = simulate(inst, a, sim);
+  } catch (const std::exception& e) {
+    out.push_back(label + ": " + a.name() + " failed: " + e.what());
+    return out;
+  }
+  try {
+    rb = simulate(inst, b, sim);
+  } catch (const std::exception& e) {
+    out.push_back(label + ": " + b.name() + " failed: " + e.what());
+    return out;
+  }
+
+  const auto diff_cost = [&](const char* what, double x, double y) {
+    if (x != y)
+      out.push_back(label + ": " + what + " " + fmt17(x) + " != " + fmt17(y));
+  };
+  const auto diff_count = [&](const char* what, long long x, long long y) {
+    if (x != y)
+      out.push_back(label + ": " + what + " " + std::to_string(x) +
+                    " != " + std::to_string(y));
+  };
+  diff_cost("eviction cost", ra.eviction_cost, rb.eviction_cost);
+  diff_cost("fetch cost", ra.fetch_cost, rb.fetch_cost);
+  diff_cost("classic eviction cost", ra.classic_eviction_cost,
+            rb.classic_eviction_cost);
+  diff_cost("classic fetch cost", ra.classic_fetch_cost,
+            rb.classic_fetch_cost);
+  diff_count("evict block events", ra.evict_block_events,
+             rb.evict_block_events);
+  diff_count("fetch block events", ra.fetch_block_events,
+             rb.fetch_block_events);
+  diff_count("evicted pages", ra.evicted_pages, rb.evicted_pages);
+  diff_count("fetched pages", ra.fetched_pages, rb.fetched_pages);
+  diff_count("misses", ra.misses, rb.misses);
+  diff_count("requests", ra.requests, rb.requests);
+  diff_count("cached pages", ra.cached_pages, rb.cached_pages);
+  if (ra.final_cache != rb.final_cache)
+    out.push_back(label + ": final cache contents diverge");
+
+  if (ra.schedule.steps.size() != rb.schedule.steps.size()) {
+    out.push_back(label + ": schedule lengths diverge (" +
+                  std::to_string(ra.schedule.steps.size()) + " vs " +
+                  std::to_string(rb.schedule.steps.size()) + ")");
+    return out;
+  }
+  for (std::size_t i = 0; i < ra.schedule.steps.size(); ++i) {
+    const auto& sa = ra.schedule.steps[i];
+    const auto& sb = rb.schedule.steps[i];
+    // Capture order within one step is unspecified (see
+    // CacheOps::set_capture); compare the step's sets.
+    if (sorted(sa.evictions) != sorted(sb.evictions) ||
+        sorted(sa.fetches) != sorted(sb.fetches)) {
+      out.push_back(label + ": schedules diverge at t=" +
+                    std::to_string(i + 1) + " (" +
+                    std::to_string(sa.evictions.size()) + "ev/" +
+                    std::to_string(sa.fetches.size()) + "fe vs " +
+                    std::to_string(sb.evictions.size()) + "ev/" +
+                    std::to_string(sb.fetches.size()) + "fe)");
+      break;  // one step pinpointed is enough to shrink on
+    }
+  }
+  return out;
+}
+
+}  // namespace bac::verify

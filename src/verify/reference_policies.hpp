@@ -1,0 +1,46 @@
+// Frozen std::set-based reference implementations of the deterministic
+// classical policies, for the policy_equivalence oracle family.
+//
+// The production policies in algs/classical/ keep their eviction orders
+// in the flat primitives from core/eviction_index.hpp (intrusive lists,
+// lazy heaps). These twins keep the original
+// std::set<std::pair<Key, id>> bookkeeping, verbatim from the code the
+// rewrite replaced — deliberately boring, allocation-heavy, and obviously
+// ordered. The oracle replays every fuzzed instance through both and
+// demands bit-identical costs, counters, and (order-normalized) captured
+// schedules, so any tie-breaking drift in the fast indexes diffs red
+// against the textbook structure instead of surviving silently.
+//
+// Do not "optimize" these: their entire value is staying a frozen
+// specification.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+
+namespace bac::verify {
+
+/// (registry name, frozen reference twin) for every deterministic
+/// classical policy rewritten onto the flat eviction indexes: lru, fifo,
+/// lfu, belady, greedy_dual, block_lru, block_lru_prefetch.
+std::vector<std::pair<std::string, std::unique_ptr<OnlinePolicy>>>
+reference_policy_twins();
+
+/// Replay `inst` through both policies (record_schedule on, seed
+/// forwarded) and describe every divergence: any cost/counter field that
+/// differs, a different final cache, or any step whose eviction/fetch
+/// sets differ (compared as sorted sets — capture order within a step is
+/// unspecified). Empty result == the runs are equivalent. `label` prefixes
+/// the messages. A policy throwing is itself reported as a divergence.
+std::vector<std::string> diff_policy_runs(const Instance& inst,
+                                          OnlinePolicy& a, OnlinePolicy& b,
+                                          std::uint64_t seed,
+                                          const std::string& label);
+
+}  // namespace bac::verify

@@ -1,0 +1,316 @@
+// Unit tests for the flat eviction-index primitives (IntrusiveOrderList,
+// LazyMinHeap): ordering and tie-breaking vs std::set, lazy-deletion edge
+// cases (erase-head, stale-pop, epoch wrap, reset reuse), and the
+// repeated-reset allocation guarantee the policy layer relies on when a
+// sweep replays thousands of (workload, k) cells through one policy
+// object.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "algs/classical/classical.hpp"
+#include "core/cost_meter.hpp"
+#include "core/eviction_index.hpp"
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+// --- allocation counting ----------------------------------------------------
+// This binary's global operator new counts allocations, so tests can
+// assert that a code region allocates nothing. The counter is the only
+// addition; storage still comes from malloc.
+
+namespace {
+std::atomic<long long> g_allocations{0};
+
+void* counted_alloc(std::size_t n) {
+  ++g_allocations;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace bac {
+namespace {
+
+// --- IntrusiveOrderList -----------------------------------------------------
+
+TEST(IntrusiveOrderListTest, FifoOrder) {
+  IntrusiveOrderList list;
+  list.reset(8);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.front(), IntrusiveOrderList::kNone);
+  EXPECT_EQ(list.pop_front(), IntrusiveOrderList::kNone);
+  for (int id : {3, 1, 5, 0}) list.push_back(id);
+  EXPECT_EQ(list.size(), 4);
+  EXPECT_TRUE(list.contains(5));
+  EXPECT_FALSE(list.contains(2));
+  EXPECT_EQ(list.pop_front(), 3);
+  EXPECT_EQ(list.pop_front(), 1);
+  EXPECT_EQ(list.pop_front(), 5);
+  EXPECT_EQ(list.pop_front(), 0);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveOrderListTest, EraseHeadMiddleTail) {
+  IntrusiveOrderList list;
+  list.reset(8);
+  for (int id = 0; id < 5; ++id) list.push_back(id);
+  list.erase(0);  // head
+  list.erase(2);  // middle
+  list.erase(4);  // tail
+  EXPECT_EQ(list.size(), 2);
+  EXPECT_EQ(list.pop_front(), 1);
+  EXPECT_EQ(list.pop_front(), 3);
+  // Erased ids can be re-inserted (land at the back).
+  list.push_back(2);
+  list.push_back(0);
+  EXPECT_EQ(list.pop_front(), 2);
+  EXPECT_EQ(list.pop_front(), 0);
+}
+
+TEST(IntrusiveOrderListTest, TouchMovesToBack) {
+  IntrusiveOrderList list;
+  list.reset(4);
+  for (int id = 0; id < 3; ++id) list.push_back(id);
+  list.touch(0);     // present: move to back
+  list.touch(3);     // absent: plain insert
+  EXPECT_EQ(list.pop_front(), 1);
+  EXPECT_EQ(list.pop_front(), 2);
+  EXPECT_EQ(list.pop_front(), 0);
+  EXPECT_EQ(list.pop_front(), 3);
+}
+
+TEST(IntrusiveOrderListTest, ResetDropsStateAndKeepsStorage) {
+  IntrusiveOrderList list;
+  list.reset(64);
+  for (int id = 0; id < 64; ++id) list.push_back(id);
+  list.reset(64);
+  EXPECT_TRUE(list.empty());
+  for (int id = 0; id < 64; ++id) EXPECT_FALSE(list.contains(id));
+  const long long before = g_allocations.load();
+  for (int round = 0; round < 10; ++round) {
+    list.reset(64);
+    for (int id = 0; id < 64; ++id) list.push_back(id);
+    for (int id = 0; id < 64; id += 2) list.erase(id);
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "reset()+reuse at a fixed size must not allocate";
+}
+
+// --- LazyMinHeap ------------------------------------------------------------
+
+TEST(LazyMinHeapTest, PopsMinWithIdTieBreak) {
+  LazyMinHeap<long long> heap;
+  heap.reset(8);
+  // Equal keys: std::set<std::pair> order means smallest id first.
+  heap.push(5, 7);
+  heap.push(2, 7);
+  heap.push(7, 3);
+  heap.push(0, 9);
+  std::int32_t id = -1;
+  long long key = 0;
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 7);
+  EXPECT_EQ(key, 3);
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 2);  // tie at key 7 -> smaller id
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 5);
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 0);
+  EXPECT_FALSE(heap.pop(id, key));
+}
+
+TEST(LazyMinHeapTest, MaxHeapViaGreaterMatchesSetRbegin) {
+  LazyMinHeap<Time, std::greater<std::pair<Time, PageId>>> heap;
+  heap.reset(8);
+  // Belady's "never again" sentinel ties: rbegin() = largest id.
+  heap.push(1, 100);
+  heap.push(6, 1 << 30);
+  heap.push(3, 1 << 30);
+  heap.push(2, 500);
+  std::int32_t id = -1;
+  Time key = 0;
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 6);  // tie at sentinel -> larger id pops first
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 3);
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 2);
+}
+
+TEST(LazyMinHeapTest, UpdateStrandsStaleEntriesAndPopSkipsThem) {
+  LazyMinHeap<long long> heap;
+  heap.reset(4);
+  heap.push(0, 1);
+  heap.push(1, 2);
+  for (long long k = 3; k < 20; ++k) heap.update(0, k);  // 17 stale entries
+  EXPECT_EQ(heap.size(), 2);
+  EXPECT_GT(heap.entry_count(), 2u);
+  std::int32_t id = -1;
+  long long key = 0;
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 1);  // 0's stale key-1 entry must not win
+  EXPECT_EQ(key, 2);
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(key, 19);
+  EXPECT_FALSE(heap.pop(id, key));
+}
+
+TEST(LazyMinHeapTest, EraseThenReinsert) {
+  LazyMinHeap<long long> heap;
+  heap.reset(4);
+  heap.push(0, 1);
+  heap.push(1, 5);
+  heap.erase(0);
+  EXPECT_FALSE(heap.contains(0));
+  EXPECT_EQ(heap.size(), 1);
+  heap.push(0, 9);  // the old key-1 entry is stale, not resurrected
+  std::int32_t id = -1;
+  long long key = 0;
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 1);
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(key, 9);
+}
+
+TEST(LazyMinHeapTest, CompactDropsStaleEntriesOnly) {
+  LazyMinHeap<long long> heap;
+  heap.reset(16);
+  for (int id = 0; id < 16; ++id) heap.push(id, 100 - id);
+  for (int id = 0; id < 16; id += 2) heap.update(id, id);
+  heap.compact();
+  EXPECT_EQ(heap.entry_count(), 16u);
+  EXPECT_EQ(heap.size(), 16);
+  std::int32_t id = -1;
+  long long key = 0;
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 0);  // updated to key 0, the new minimum
+  EXPECT_EQ(key, 0);
+}
+
+TEST(LazyMinHeapTest, EpochWrapCompactsAwayAliasingCandidates) {
+  LazyMinHeap<long long> heap;
+  heap.reset(4);
+  heap.push(1, 50);
+  // Park id 0 one bump short of the wrap (only legal on an id that is
+  // not in the heap), then run it through push/update/pop cycles that
+  // cross epoch 0. The wrap triggers a compaction, so the pre-wrap entry
+  // cannot alias a post-wrap stamp.
+  heap.debug_set_epoch(0, std::numeric_limits<std::uint32_t>::max() - 1);
+  heap.push(0, 10);
+  heap.update(0, 20);  // bump to max (no wrap yet)
+  EXPECT_EQ(heap.debug_epoch(0), std::numeric_limits<std::uint32_t>::max());
+  heap.update(0, 30);  // bump wraps to 0 -> compact() first
+  EXPECT_EQ(heap.debug_epoch(0), 0u);
+  EXPECT_EQ(heap.size(), 2);
+  std::int32_t id = -1;
+  long long key = 0;
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(key, 30);  // the stale key-10/key-20 entries did not alias
+  ASSERT_TRUE(heap.pop(id, key));
+  EXPECT_EQ(id, 1);
+  EXPECT_FALSE(heap.pop(id, key));
+}
+
+TEST(LazyMinHeapTest, MirrorsStdSetOverRandomOperations) {
+  LazyMinHeap<long long> heap;
+  std::set<std::pair<long long, std::int32_t>> ref;
+  std::vector<long long> key_of(64, -1);  // -1 = absent
+  heap.reset(64);
+  Xoshiro256pp rng(7);
+  for (int step = 0; step < 20000; ++step) {
+    const auto id = static_cast<std::int32_t>(rng.below(64));
+    const auto op = rng.below(4);
+    if (key_of[static_cast<std::size_t>(id)] < 0) {
+      const auto key = static_cast<long long>(rng.below(50));
+      heap.push(id, key);
+      ref.insert({key, id});
+      key_of[static_cast<std::size_t>(id)] = key;
+    } else if (op == 0) {
+      const auto key = static_cast<long long>(rng.below(50));
+      heap.update(id, key);
+      ref.erase({key_of[static_cast<std::size_t>(id)], id});
+      ref.insert({key, id});
+      key_of[static_cast<std::size_t>(id)] = key;
+    } else if (op == 1) {
+      heap.erase(id);
+      ref.erase({key_of[static_cast<std::size_t>(id)], id});
+      key_of[static_cast<std::size_t>(id)] = -1;
+    } else if (!ref.empty()) {
+      std::int32_t got = -1;
+      long long got_key = 0;
+      ASSERT_TRUE(heap.pop(got, got_key));
+      const auto expect = *ref.begin();
+      ref.erase(ref.begin());
+      ASSERT_EQ(got_key, expect.first) << "at step " << step;
+      ASSERT_EQ(got, expect.second) << "at step " << step;
+      key_of[static_cast<std::size_t>(got)] = -1;
+    }
+    ASSERT_EQ(heap.size(), static_cast<int>(ref.size()));
+  }
+}
+
+// --- repeated-reset allocation guarantee ------------------------------------
+
+/// Drive one policy over the trace with simulator-grade plumbing but no
+/// allocations of our own, so the measured allocation count isolates the
+/// policy + cache + meter hot path.
+void drive(OnlinePolicy& policy, const Instance& inst, CacheSet& cache,
+           CostMeter& meter) {
+  cache.clear();
+  CacheOps ops(inst.blocks, cache, meter, inst.k);
+  policy.reset(inst);
+  Time t = 0;
+  for (const PageId p : inst.requests) {
+    ++t;
+    meter.begin_step(t);
+    policy.on_request(t, p, ops);
+    ASSERT_TRUE(cache.contains(p));
+    ASSERT_LE(cache.size(), inst.k);
+  }
+}
+
+TEST(ResetReuseTest, PoliciesDoNotAllocateAcrossSweepCells) {
+  Xoshiro256pp rng(11);
+  const Instance inst{BlockMap::contiguous(128, 4),
+                      zipf_trace(128, 4000, 0.9, rng), 32};
+  CacheSet cache(inst.n_pages());
+  CostMeter meter(inst.blocks);
+
+  LruPolicy lru;
+  FifoPolicy fifo;
+  LfuPolicy lfu;
+  GreedyDualPolicy gd;
+  OnlinePolicy* policies[] = {&lru, &fifo, &lfu, &gd};
+  for (OnlinePolicy* policy : policies) {
+    drive(*policy, inst, cache, meter);  // warm-up sizes every index
+    drive(*policy, inst, cache, meter);
+    const long long before = g_allocations.load();
+    for (int round = 0; round < 3; ++round) drive(*policy, inst, cache, meter);
+    EXPECT_EQ(g_allocations.load(), before)
+        << policy->name()
+        << ": reset()+replay across sweep cells must reuse index storage";
+  }
+}
+
+}  // namespace
+}  // namespace bac

@@ -91,6 +91,71 @@ TEST(InstanceSource, StreamsAndRewinds) {
   EXPECT_EQ(drain(src), inst.requests);
 }
 
+/// Drain via next_batch with an awkward cap so batch boundaries land
+/// mid-stream and the final batch is partial.
+std::vector<PageId> drain_batched(RequestSource& src, int cap) {
+  std::vector<PageId> out;
+  std::vector<PageId> buf(static_cast<std::size_t>(cap));
+  for (;;) {
+    const int m = src.next_batch(buf.data(), cap);
+    EXPECT_LE(m, cap);
+    if (m == 0) break;
+    out.insert(out.end(), buf.begin(), buf.begin() + m);
+  }
+  // The end-of-stream contract: 0 again, and next() agrees.
+  EXPECT_EQ(src.next_batch(buf.data(), cap), 0);
+  PageId p;
+  EXPECT_FALSE(src.next(p));
+  return out;
+}
+
+TEST(NextBatch, MatchesNextForEverySourceKind) {
+  // Synthetic sources (one per generator kind) ...
+  const auto make_synthetics = [] {
+    std::vector<std::unique_ptr<RequestSource>> v;
+    v.push_back(SyntheticSource::uniform(32, 4, 8, 700, 5));
+    v.push_back(SyntheticSource::zipf(64, 8, 16, 700, 0.9, 6));
+    v.push_back(SyntheticSource::scan(10, 2, 4, 700));
+    v.push_back(SyntheticSource::phased(40, 4, 12, 700, 60, 12, 7));
+    v.push_back(SyntheticSource::block_local(48, 6, 12, 700, 0.75, 0.9, 8));
+    return v;
+  };
+  auto a = make_synthetics();
+  auto b = make_synthetics();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto expect = drain(*a[i]);
+    // 7 does not divide 700: the final batch is partial.
+    EXPECT_EQ(drain_batched(*b[i], 7), expect) << "synthetic kind " << i;
+    b[i]->rewind();
+    EXPECT_EQ(drain_batched(*b[i], 1024), expect)
+        << "synthetic kind " << i << " (single batch)";
+  }
+  // ... and the materialized adapter.
+  const Instance inst = make_instance(8, 2, 4, {0, 3, 5, 3, 7, 1, 1});
+  InstanceSource src(inst);
+  EXPECT_EQ(drain_batched(src, 3), inst.requests);
+  src.rewind();
+  EXPECT_EQ(drain_batched(src, 512), inst.requests);
+}
+
+TEST(NextBatch, MixesWithNextMidStream) {
+  auto src = SyntheticSource::zipf(32, 4, 8, 300, 1.1, 13);
+  const auto expect = drain(*src);
+  src->rewind();
+  std::vector<PageId> got;
+  PageId p;
+  std::vector<PageId> buf(64);
+  ASSERT_TRUE(src->next(p));  // one single
+  got.push_back(p);
+  int m = src->next_batch(buf.data(), 64);  // then a batch
+  got.insert(got.end(), buf.begin(), buf.begin() + m);
+  ASSERT_TRUE(src->next(p));  // a single again
+  got.push_back(p);
+  while ((m = src->next_batch(buf.data(), 64)) > 0)
+    got.insert(got.end(), buf.begin(), buf.begin() + m);
+  EXPECT_EQ(got, expect);
+}
+
 bool same_run(const RunResult& a, const RunResult& b) {
   return a.eviction_cost == b.eviction_cost && a.fetch_cost == b.fetch_cost &&
          a.classic_eviction_cost == b.classic_eviction_cost &&

@@ -133,6 +133,46 @@ TEST_F(TraceFormats, TextRoundTripIsBitIdenticalForEveryWorkload) {
   }
 }
 
+TEST_F(TraceFormats, FileSourceNextBatchMatchesNext) {
+  // The batched decode paths (BactSource's buffered varint loop, the
+  // final-class loops of TextTraceSource/CsvSource) must yield exactly
+  // the next() sequence, including a partial final batch and 0-at-end.
+  const Instance inst = generator_workloads().front();
+  const std::string bact_file = path("batch.bact");
+  const std::string text_file = path("batch.txt");
+  save_bact(inst, bact_file);
+  save_instance(inst, text_file);
+
+  const auto drain_single = [](RequestSource& src) {
+    std::vector<PageId> out;
+    PageId p;
+    while (src.next(p)) out.push_back(p);
+    return out;
+  };
+  const auto drain_batched = [](RequestSource& src, int cap) {
+    std::vector<PageId> out;
+    std::vector<PageId> buf(static_cast<std::size_t>(cap));
+    int m;
+    while ((m = src.next_batch(buf.data(), cap)) > 0)
+      out.insert(out.end(), buf.begin(), buf.begin() + m);
+    EXPECT_EQ(src.next_batch(buf.data(), cap), 0);  // stays at end
+    return out;
+  };
+
+  {
+    BactSource a(bact_file), b(bact_file);
+    const auto expect = drain_single(a);
+    EXPECT_EQ(expect, inst.requests);
+    EXPECT_EQ(drain_batched(b, 17), expect);  // 17 ∤ T: partial final batch
+    b.rewind();
+    EXPECT_EQ(drain_batched(b, 1 << 15), expect);  // single oversized batch
+  }
+  {
+    TextTraceSource a(text_file), b(text_file);
+    EXPECT_EQ(drain_batched(b, 17), drain_single(a));
+  }
+}
+
 TEST_F(TraceFormats, BactSourceRewindReplays) {
   const Instance inst = make_instance(16, 4, 8, scan_trace(16, 200));
   const std::string file = path("rewind.bact");

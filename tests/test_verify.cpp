@@ -8,14 +8,17 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "algs/classical/classical.hpp"
 #include "algs/zoo.hpp"
 #include "core/simulator.hpp"
 #include "trace/bact.hpp"
+#include "trace/generators.hpp"
 #include "trace/mutators.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/fuzz.hpp"
 #include "verify/gen.hpp"
 #include "verify/oracles.hpp"
+#include "verify/reference_policies.hpp"
 #include "verify/shrink.hpp"
 
 namespace bac {
@@ -166,7 +169,49 @@ TEST(Oracles, FamilyRegistryRejectsUnknownNames) {
   verify::OracleOptions options;
   EXPECT_THROW(verify::check_family("definitely_not_a_family", gi, options),
                std::invalid_argument);
-  EXPECT_EQ(verify::oracle_family_names().size(), 6u);
+  EXPECT_EQ(verify::oracle_family_names().size(), 7u);
+}
+
+// --- policy_equivalence -----------------------------------------------------
+
+TEST(PolicyEquivalence, FlatIndexPoliciesMatchSetReferencesOnFuzzInstances) {
+  verify::OracleOptions options;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const verify::GeneratedInstance gi = verify::random_instance(seed);
+    options.seed = seed;
+    for (const verify::Violation& v :
+         verify::check_family("policy_equivalence", gi, options))
+      ADD_FAILURE() << "seed " << seed << ": " << v.detail << " ("
+                    << gi.descriptor << ")";
+  }
+}
+
+TEST(PolicyEquivalence, ReferenceTwinsCoverEveryRewrittenPolicy) {
+  const auto twins = verify::reference_policy_twins();
+  std::vector<std::string> names;
+  for (const auto& [name, ref] : twins) {
+    names.push_back(name);
+    EXPECT_NE(ref, nullptr);
+    EXPECT_NO_THROW(make_policy(name)) << name;
+  }
+  const std::vector<std::string> expect = {
+      "lru",         "fifo",      "lfu",               "belady",
+      "greedy_dual", "block_lru", "block_lru_prefetch"};
+  EXPECT_EQ(names, expect);
+}
+
+TEST(PolicyEquivalence, DiffDetectsGenuinelyDifferentPolicies) {
+  // The oracle must be able to fail: LRU vs FIFO diverge on a hit-heavy
+  // trace (a hit refreshes LRU's order but not FIFO's).
+  const Instance inst = make_instance(
+      6, 2, 2, std::vector<PageId>{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0});
+  LruPolicy lru;
+  FifoPolicy fifo;
+  const auto diffs = verify::diff_policy_runs(inst, lru, fifo, 1, "lru-fifo");
+  EXPECT_FALSE(diffs.empty());
+  // And agree with itself.
+  LruPolicy a, b;
+  EXPECT_TRUE(verify::diff_policy_runs(inst, a, b, 1, "lru-lru").empty());
 }
 
 // --- injected-bug demo ------------------------------------------------------
