@@ -2,7 +2,6 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -11,6 +10,7 @@
 #include "trace/bact.hpp"
 #include "trace/csv.hpp"
 #include "trace/trace_io.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -99,21 +99,30 @@ std::unique_ptr<RequestSource> make_synthetic(const std::string& spec,
 std::shared_ptr<const CsvMapping> csv_mapping_for(const std::string& path,
                                                   const SweepConfig& c,
                                                   int k) {
-  static std::mutex mutex;
+  static Mutex mutex;
   static std::unordered_map<std::string, std::shared_ptr<const CsvMapping>>
       cache;
   const std::string key =
       path + "\x1f" + std::to_string(c.csv_block_pages);
-  std::lock_guard lock(mutex);
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
-  CsvOptions options;
-  options.block_pages = c.csv_block_pages;
-  options.k = k;
-  auto mapping = std::make_shared<const CsvMapping>(
-      build_csv_mapping(path, options));
-  cache.emplace(key, mapping);
-  return mapping;
+  MutexLock lock(mutex);
+  // Single lookup for both the hit and the miss path: try_emplace finds
+  // or default-constructs the slot, and a sweep-grid cell that misses
+  // fills the same slot reference instead of re-hashing the key for a
+  // second emplace.
+  auto [it, inserted] = cache.try_emplace(key);
+  if (!inserted) return it->second;
+  try {
+    CsvOptions options;
+    options.block_pages = c.csv_block_pages;
+    options.k = k;
+    it->second = std::make_shared<const CsvMapping>(
+        build_csv_mapping(path, options));
+  } catch (...) {
+    // A failed build must not leave a null mapping behind for the key.
+    cache.erase(it);
+    throw;
+  }
+  return it->second;
 }
 
 }  // namespace
@@ -159,7 +168,7 @@ SweepTotals run_sweep(const SweepConfig& config, const RecordSink& sink) {
     for (const std::string& p : config.policies)
       for (const int k : config.ks) cells.push_back({p, w, k});
 
-  std::mutex totals_mutex;
+  Mutex totals_mutex;
   SweepTotals totals;
   totals.cells = static_cast<long long>(cells.size());
 
@@ -219,7 +228,7 @@ SweepTotals run_sweep(const SweepConfig& config, const RecordSink& sink) {
                            (record.wall_ms / 1000.0)
                      : 0.0;
     {
-      std::lock_guard lock(totals_mutex);
+      MutexLock lock(totals_mutex);
       totals.requests += record.requests;
     }
     if (sink) sink(record);

@@ -1,0 +1,348 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace bac::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Rule table. Every rule excludes "lint/": this file necessarily spells
+// the banned tokens inside its own pattern strings and the fixture
+// corpus, and linting the linter would flag the rule table itself.
+// ---------------------------------------------------------------------
+
+// Shared exclusion for simulator-determinism rules: util/rng.hpp is the
+// one sanctioned home for raw generator machinery.
+const std::vector<std::string> kRngHome = {"util/rng.hpp", "lint/"};
+
+const std::vector<Rule>& rule_table() {
+  static const std::vector<Rule> rules = {
+      {"no-c-rand",
+       "libc rand()/srand() is banned: global hidden state breaks "
+       "seed-reproducibility and thread determinism",
+       R"(\b(?:srand|rand)\s*\()",
+       {},
+       kRngHome,
+       "draw from a seeded bac::Xoshiro256pp (util/rng.hpp) instead"},
+      {"no-random-device",
+       "std::random_device is banned: nondeterministic entropy makes "
+       "runs unreproducible from the root seed",
+       R"(std::random_device)",
+       {},
+       kRngHome,
+       "derive seeds from the experiment's root seed via splitmix64 "
+       "(util/rng.hpp)"},
+      {"no-std-engine",
+       "std <random> engines are banned outside util/rng.hpp: their "
+       "streams are not substream-splittable and mt19937 distributions "
+       "vary across standard libraries",
+       R"(std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|ranlux(?:24|48)(?:_base)?|knuth_b))",
+       {},
+       kRngHome,
+       "use bac::Xoshiro256pp / splitmix64 from util/rng.hpp"},
+      {"no-wallclock-seed",
+       "wall-clock time as a seed or input is banned: system_clock and "
+       "time(...) make results depend on when the run started",
+       R"(std::chrono::system_clock|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\))",
+       {},
+       {"lint/"},
+       "seed from the experiment's root seed; for intervals use the "
+       "steady-clock Stopwatch (util/timer.hpp)"},
+      {"raw-mutex",
+       "raw std::mutex (and friends) are banned: locks must be the "
+       "annotated bac::Mutex so the clang-tsa preset can prove the "
+       "locking discipline at compile time",
+       R"(std::(?:recursive_mutex|timed_mutex|recursive_timed_mutex|shared_mutex|mutex)\b)",
+       {},
+       {"util/thread_annotations.hpp", "lint/"},
+       "use bac::Mutex + MutexLock (util/thread_annotations.hpp) and "
+       "GUARDED_BY on the members it protects"},
+      {"hot-path-unordered-map",
+       "std::unordered_* in hot-path policy/eviction/server code is "
+       "banned: node-allocating hash maps are the ROADMAP item 6 "
+       "migration target, not something to add more of",
+       R"(std::unordered_(?:map|set|multimap|multiset)\b)",
+       {"algs/classical/", "core/", "server/"},
+       {"lint/"},
+       "use the flat primitives in core/eviction_index.hpp, a plain "
+       "vector keyed by dense page id, or keep the map out of the hot "
+       "path"},
+      {"float-equality",
+       "float equality on cost values is banned outside src/verify/ "
+       "(where bit-exact comparison is the differential contract): "
+       "accumulated costs compare reliably only with an epsilon",
+       R"((?:\w|->|\.)*[Cc]osts?(?:\(\))?\s*[!=]=|[!=]=\s*[-+(\s]*(?:\w|->|\.)*[Cc]osts?\b|[!=]=\s*[-+]?\d+\.\d*\b|\b\d+\.\d*\s*[!=]=)",
+       {},
+       {"verify/", "lint/"},
+       "compare with std::abs(a - b) <= eps, or document the exact-zero "
+       "guard with an allowlist entry"},
+      {"serialization-precision",
+       "float formats below %.17g in golden/bench serialization are "
+       "banned: %.17g is the shortest precision that round-trips an IEEE "
+       "double, anything less corrupts checksum comparisons",
+       R"(%(?!\.17g)[-+ #0-9.]*[efgEFG]\b)",
+       {"verify/", "util/json", "driver/"},
+       {"lint/"},
+       "serialize doubles with %.17g (or write_json_number, which does)"},
+      {"no-volatile",
+       "volatile is banned: it is not a synchronization primitive and "
+       "hides real races from TSan and the thread-safety analysis",
+       R"(\bvolatile\b)",
+       {},
+       {"lint/"},
+       "use std::atomic with explicit memory ordering, or a bac::Mutex"},
+      {"no-endl",
+       "std::endl is banned in library code: it forces a flush per line "
+       "and turns bulk serialization into one syscall per record",
+       R"(std::endl\b)",
+       {},
+       {"lint/"},
+       "write '\\n' and flush once at the end (or rely on the stream "
+       "destructor)"},
+  };
+  return rules;
+}
+
+const std::vector<AllowEntry>& allow_table() {
+  static const std::vector<AllowEntry> allows = {
+      {"float-equality", "util/stats.cpp", "den == 0.0",
+       "exact-zero guard before dividing; any nonzero denominator is "
+       "usable"},
+      {"float-equality", "lp/simplex.cpp", "cb == 0.0",
+       "simplex skips exactly-zero basis coefficients; an epsilon here "
+       "would skip live pivots"},
+      {"float-equality", "lp/simplex.cpp", "factor == 0.0",
+       "row elimination skips exactly-zero factors; correctness, not a "
+       "tolerance question"},
+  };
+  return allows;
+}
+
+// ---------------------------------------------------------------------
+// Comment stripping: drop // and /* */ comment text (replaced by
+// spaces so columns keep their meaning) while leaving string and char
+// literals intact — format-string rules must see inside them. The
+// block-comment state carries across lines via `in_block`.
+// ---------------------------------------------------------------------
+std::string strip_comments(const std::string& line, bool& in_block) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_string = false, in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    if (in_block) {
+      if (c == '*' && next == '/') {
+        in_block = false;
+        ++i;
+      }
+      out.push_back(' ');
+      continue;
+    }
+    if (in_string) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < line.size()) {
+        out.push_back(next);
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (in_char) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < line.size()) {
+        out.push_back(next);
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+      continue;
+    }
+    if (c == '/' && next == '/') break;  // line comment: drop the rest
+    if (c == '/' && next == '*') {
+      in_block = true;
+      out.append("  ");
+      ++i;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '\'') in_char = true;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t lo = s.find_first_not_of(" \t");
+  if (lo == std::string::npos) return "";
+  std::size_t hi = s.find_last_not_of(" \t");
+  return s.substr(lo, hi - lo + 1);
+}
+
+bool path_matches(const std::string& path, const Rule& rule) {
+  for (const std::string& ex : rule.exclude)
+    if (path.find(ex) != std::string::npos) return false;
+  if (rule.include.empty()) return true;
+  for (const std::string& inc : rule.include)
+    if (path.find(inc) != std::string::npos) return true;
+  return false;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Resolve suppression for a hit: inline `baclint: allow(rule)` on the
+/// raw line first, then the allowlist.
+void resolve_allow(Finding& f, const std::string& raw_line,
+                   const std::vector<AllowEntry>& allowlist) {
+  if (raw_line.find("baclint: allow(" + f.rule + ")") != std::string::npos) {
+    f.allowed = true;
+    f.allow_reason = "inline suppression";
+    return;
+  }
+  for (const AllowEntry& a : allowlist) {
+    if (a.rule != f.rule) continue;
+    if (!ends_with(f.path, a.path_suffix)) continue;
+    if (!a.line_contains.empty() &&
+        raw_line.find(a.line_contains) == std::string::npos)
+      continue;
+    f.allowed = true;
+    f.allow_reason = a.reason;
+    return;
+  }
+}
+
+}  // namespace
+
+const std::vector<Rule>& default_rules() { return rule_table(); }
+const std::vector<AllowEntry>& default_allowlist() { return allow_table(); }
+
+std::vector<Finding> lint_lines(const std::string& path,
+                                const std::vector<std::string>& lines,
+                                const std::vector<Rule>& rules,
+                                const std::vector<AllowEntry>& allowlist) {
+  struct Active {
+    const Rule* rule;
+    std::regex re;
+  };
+  std::vector<Active> active;
+  for (const Rule& rule : rules) {
+    if (!path_matches(path, rule)) continue;
+    try {
+      active.push_back({&rule, std::regex(rule.pattern)});
+    } catch (const std::regex_error& e) {
+      throw std::invalid_argument("baclint: rule '" + rule.name +
+                                  "' has a malformed pattern: " + e.what());
+    }
+  }
+  std::vector<Finding> findings;
+  if (active.empty()) return findings;
+
+  bool in_block = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string stripped = strip_comments(lines[i], in_block);
+    for (const Active& a : active) {
+      if (!std::regex_search(stripped, a.re)) continue;
+      Finding f;
+      f.rule = a.rule->name;
+      f.path = path;
+      f.line = static_cast<long long>(i) + 1;
+      f.text = trim(lines[i]);
+      f.hint = a.rule->hint;
+      resolve_allow(f, lines[i], allowlist);
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::vector<Rule>& rules,
+                               const std::vector<AllowEntry>& allowlist) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("baclint: cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  if (in.bad()) throw std::runtime_error("baclint: read error on " + path);
+  return lint_lines(path, lines, rules, allowlist);
+}
+
+std::vector<std::string> list_source_files(const std::string& root) {
+  namespace fs = std::filesystem;
+  const fs::path base(root);
+  if (!fs::exists(base))
+    throw std::runtime_error("baclint: no such path: " + root);
+  std::vector<std::string> files;
+  if (fs::is_regular_file(base)) {
+    files.push_back(base.generic_string());
+    return files;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(base)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+      files.push_back(entry.path().generic_string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int count_violations(const std::vector<Finding>& findings) {
+  int n = 0;
+  for (const Finding& f : findings)
+    if (!f.allowed) ++n;
+  return n;
+}
+
+void write_json_report(std::ostream& os, const std::vector<Rule>& rules,
+                       const std::vector<Finding>& findings,
+                       long long files_scanned) {
+  os << "{\n  \"bench\": \"baclint\",\n  \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "    {\"name\": ";
+    write_json_string(os, rules[i].name);
+    os << ", \"summary\": ";
+    write_json_string(os, rules[i].summary);
+    os << ", \"hint\": ";
+    write_json_string(os, rules[i].hint);
+    os << "}" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"files_scanned\": " << files_scanned
+     << ",\n  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "    {\"rule\": ";
+    write_json_string(os, f.rule);
+    os << ", \"path\": ";
+    write_json_string(os, f.path);
+    os << ", \"line\": " << f.line << ", \"text\": ";
+    write_json_string(os, f.text);
+    os << ", \"allowed\": " << (f.allowed ? "true" : "false");
+    if (f.allowed) {
+      os << ", \"reason\": ";
+      write_json_string(os, f.allow_reason);
+    }
+    os << "}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  const int violations = count_violations(findings);
+  os << "  ],\n  \"aggregate\": {\"rules\": " << rules.size()
+     << ", \"findings\": " << findings.size()
+     << ", \"violations\": " << violations << ", \"allowed\": "
+     << (static_cast<long long>(findings.size()) - violations) << "}\n}\n";
+}
+
+}  // namespace bac::lint

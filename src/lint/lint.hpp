@@ -1,0 +1,99 @@
+// baclint: a declarative, repo-specific invariant linter.
+//
+// The generic static analyzers (clang-tidy, TSA, the sanitizers) cannot
+// know this repo's contracts: all simulation randomness flows through
+// util/rng.hpp so runs are reproducible from one root seed; all mutexes
+// are the annotated bac::Mutex so the clang-tsa preset can prove lock
+// discipline; hot-path policy/eviction code stays off node-allocating
+// hash maps (ROADMAP item 6); cost values are never compared with raw
+// float equality outside the bit-exactness-by-contract verify layer; and
+// golden/bench serialization keeps round-trip `%.17g` precision. baclint
+// enforces exactly those, as a rule table scanned over every source line
+// — cheap enough to run as a `lint`-labeled ctest on every build.
+//
+// The engine is a library (this header) so tests/test_baclint.cpp can
+// drive each rule against positive/negative fixtures without spawning
+// the CLI; tools/baclint.cpp is a thin front-end over it.
+//
+// Matching model: one ECMAScript regex per rule, applied line-by-line
+// after comment stripping (string literals are kept — format-string
+// rules need them). Three suppression levels, most specific first:
+//   1. inline: `baclint: allow(<rule>)` in a comment on the line,
+//   2. allowlist: an AllowEntry (rule, path suffix, line substring),
+//   3. rule scope: include/exclude path substrings on the rule itself.
+// Suppressed findings are still reported (allowed=true) so the JSON
+// report shows what is being waived and why.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bac::lint {
+
+/// One lint rule: a named invariant, its detection regex, and its scope.
+struct Rule {
+  std::string name;     ///< kebab-case id, e.g. "raw-mutex"
+  std::string summary;  ///< one-line statement of the invariant
+  std::string pattern;  ///< ECMAScript regex, applied per stripped line
+  /// Path substrings the rule applies to; empty = every scanned file.
+  std::vector<std::string> include;
+  /// Path substrings exempt from the rule (takes precedence).
+  std::vector<std::string> exclude;
+  std::string hint;  ///< fix-style suggestion appended to diagnostics
+};
+
+/// A known-intentional site, waived with a recorded reason.
+struct AllowEntry {
+  std::string rule;           ///< rule name the entry waives
+  std::string path_suffix;    ///< file path must end with this
+  std::string line_contains;  ///< line must contain this; "" = whole file
+  std::string reason;         ///< why the site is exempt (kept in reports)
+};
+
+/// One regex hit, with its suppression status resolved.
+struct Finding {
+  std::string rule;
+  std::string path;
+  long long line = 0;  ///< 1-based
+  std::string text;    ///< the offending source line, whitespace-trimmed
+  std::string hint;
+  bool allowed = false;
+  std::string allow_reason;  ///< set when allowed
+};
+
+/// The repo's active rule table (>= 8 rules; see DESIGN.md "Static
+/// analysis" for the invariant behind each and how to add one).
+const std::vector<Rule>& default_rules();
+
+/// Known-intentional sites in src/, each with a reason.
+const std::vector<AllowEntry>& default_allowlist();
+
+/// Lint pre-split lines as if read from `path` (the testable core; no
+/// filesystem access). Throws std::invalid_argument on a malformed rule
+/// regex.
+std::vector<Finding> lint_lines(const std::string& path,
+                                const std::vector<std::string>& lines,
+                                const std::vector<Rule>& rules,
+                                const std::vector<AllowEntry>& allowlist);
+
+/// Read and lint one file. Throws std::runtime_error when unreadable.
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::vector<Rule>& rules,
+                               const std::vector<AllowEntry>& allowlist);
+
+/// Recursively collect .hpp/.cpp/.h/.cc files under `root`, sorted so
+/// scans are deterministic. A single regular file is returned as-is.
+/// Throws std::runtime_error when `root` does not exist.
+std::vector<std::string> list_source_files(const std::string& root);
+
+/// Number of findings that are NOT allowed (the CLI's exit criterion).
+int count_violations(const std::vector<Finding>& findings);
+
+/// Machine-readable report (rule table, findings, counts) in the bench
+/// JSON house style; `files_scanned` is informational.
+void write_json_report(std::ostream& os, const std::vector<Rule>& rules,
+                       const std::vector<Finding>& findings,
+                       long long files_scanned);
+
+}  // namespace bac::lint

@@ -53,6 +53,11 @@ struct ServerStats {
   }
 };
 
+// Thread-safety: the coordinator owns no lock of its own — every mutable
+// member lives in a CacheShard behind that shard's GUARDED_BY-annotated
+// bac::Mutex (shard.hpp); everything held here (headers, shard array,
+// the hash parameters) is immutable after construction, which is why
+// const methods are safe to call from any thread with no annotation.
 class ConcurrentCache {
  public:
   /// `context` supplies the block structure and the *total* capacity k;

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace bac::server {
@@ -25,7 +25,7 @@ constexpr std::size_t kDispatchBatch = 512;
 double run_workers(ConcurrentCache& cache,
                    const std::vector<std::vector<PageId>>& lanes) {
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::atomic<bool> go{false};
   std::vector<std::thread> workers;
   workers.reserve(lanes.size());
@@ -39,7 +39,7 @@ double run_workers(ConcurrentCache& cache,
                 lane.data() + i,
                 static_cast<int>(std::min(kDispatchBatch, lane.size() - i)));
         } catch (...) {
-          std::lock_guard lock(error_mutex);
+          MutexLock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
       });

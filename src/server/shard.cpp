@@ -26,7 +26,7 @@ long long CacheShard::get_batch(const PageId* ps, int n) {
   // Latency includes the lock wait: under closed-loop load the queueing
   // delay at a hot shard is part of the service time a client observes.
   const auto start = std::chrono::steady_clock::now();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   long long batch_hits = 0;
   for (int i = 0; i < n; ++i) {
     const PageId p = ps[i];
@@ -63,7 +63,7 @@ long long CacheShard::get_batch(const PageId* ps, int n) {
 }
 
 ShardSnapshot CacheShard::snapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ShardSnapshot s;
   s.requests = hits_ + misses_;
   s.hits = hits_;

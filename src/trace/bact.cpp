@@ -32,6 +32,12 @@ std::uint64_t get_varint(std::istream& is, const char* what) {
     const int c = is.get();
     if (c == std::char_traits<char>::eof())
       throw std::runtime_error(std::string("bact: truncated ") + what);
+    // The 10th byte (shift 63) may only carry the top bit of a 64-bit
+    // value; anything in bits 1-6 would be shifted out of the word and
+    // silently decode to a wrong (smaller) value instead of an error.
+    if (shift == 63 && (c & 0x7e) != 0)
+      throw std::runtime_error(std::string("bact: varint overflow in ") +
+                               what);
     v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
     if ((c & 0x80) == 0) return v;
     shift += 7;
@@ -196,6 +202,11 @@ bool BactSource::decode_request(PageId& p) {
   for (;;) {
     const int c = read_byte();
     if (c < 0) throw std::runtime_error("bact: truncated request");
+    // Mirror of get_varint's 10th-byte guard: bits 1-6 of the shift-63
+    // byte would be discarded by the shift, turning an over-range varint
+    // into a silently wrong page id.
+    if (shift == 63 && (c & 0x7e) != 0)
+      throw std::runtime_error("bact: varint overflow in request");
     v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
     if ((c & 0x80) == 0) break;
     shift += 7;

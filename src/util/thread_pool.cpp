@@ -1,35 +1,40 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <exception>
-#include <stdexcept>
 
 namespace bac {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  MutexLock lock(join_mutex_);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
+  n_workers_.store(threads, std::memory_order_release);
 }
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
+  // Serializes concurrent shutdowns: the second caller blocks here until
+  // the first has joined every worker, so the post-condition "no worker
+  // is running" holds for all callers (it used to hold only for the one
+  // that won the stop_ race).
+  MutexLock join_lock(join_mutex_);
   {
-    std::lock_guard lock(mutex_);
-    if (stop_) return;  // already shut down (workers joined by that call)
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
   workers_.clear();
+  n_workers_.store(0, std::memory_order_release);
 }
 
 bool ThreadPool::stopped() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stop_;
 }
 
@@ -37,8 +42,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit wait loop (not the predicate overload): the condition
+      // reads stop_/queue_, which the analysis can only check when the
+      // read is lexically under the lock in this function.
+      while (!stop_ && queue_.empty()) lock.wait(cv_);
       if (queue_.empty()) return;  // stop_ && empty
       task = std::move(queue_.front());
       queue_.pop();
@@ -50,7 +58,7 @@ void ThreadPool::worker_loop() {
 bool ThreadPool::try_run_one() {
   std::function<void()> task;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop();
@@ -69,7 +77,7 @@ void ThreadPool::parallel_for_indexed(
     throw std::runtime_error("ThreadPool: parallel_for_indexed after shutdown");
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
 
   auto body = [&] {
     for (;;) {
@@ -78,7 +86,7 @@ void ThreadPool::parallel_for_indexed(
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }

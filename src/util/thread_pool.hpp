@@ -4,17 +4,28 @@
 // task receives its index so callers can derive an independent RNG
 // substream per index — results are bit-identical regardless of the number
 // of worker threads or scheduling order.
+//
+// Lock discipline (machine-checked by the clang-tsa preset):
+//   - mutex_ guards the task queue and the stop flag; workers and
+//     submitters take it for O(1) critical sections only.
+//   - join_mutex_ guards the worker vector and serializes shutdown():
+//     concurrent callers all block until the workers are actually joined,
+//     so "shutdown returned" always means "no worker is running".
+//   - join_mutex_ is acquired before mutex_ (only shutdown holds both);
+//     no code path holding mutex_ ever takes join_mutex_.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace bac {
 
@@ -27,12 +38,21 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+  /// Worker count: the construction size until shutdown() completes, 0
+  /// afterwards. Lock-free (an atomic published by shutdown), so it is
+  /// safe to call from pool tasks while another thread shuts down.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return n_workers_.load(std::memory_order_acquire);
+  }
 
   /// Stop accepting work, drain already-queued tasks, and join the
-  /// workers. Idempotent; the destructor calls it. After shutdown,
-  /// submit() and parallel_for_indexed() throw instead of enqueueing
-  /// tasks no worker will ever run (whose futures would block forever).
+  /// workers. Idempotent; the destructor calls it. Concurrent callers
+  /// serialize on the join: every call returns only once the workers are
+  /// joined (a second caller used to return while the first was still
+  /// joining, letting it destroy the pool under a live join). After
+  /// shutdown, submit() and parallel_for_indexed() throw instead of
+  /// enqueueing tasks no worker will ever run (whose futures would block
+  /// forever).
   void shutdown();
 
   /// True once shutdown() has begun (no further submissions accepted).
@@ -46,7 +66,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stop_)
         throw std::runtime_error(
             "ThreadPool: submit after shutdown (the task would never run "
@@ -73,11 +93,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
+  mutable Mutex join_mutex_ ACQUIRED_BEFORE(mutex_);
+  std::vector<std::thread> workers_ GUARDED_BY(join_mutex_);
+  std::atomic<std::size_t> n_workers_{0};  ///< mirrors workers_.size()
+  mutable Mutex mutex_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
   std::condition_variable cv_;
-  bool stop_ = false;
 };
 
 /// Process-wide pool for benchmark sweeps.

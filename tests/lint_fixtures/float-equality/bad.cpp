@@ -1,0 +1,5 @@
+// Positive fixture: raw equality on accumulated cost values must be
+// flagged (float-equality).
+bool same_cost(double total_cost, double opt_cost) {
+  return total_cost == opt_cost;
+}

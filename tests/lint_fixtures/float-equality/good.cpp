@@ -1,0 +1,6 @@
+// Negative fixture: accumulated costs compare with an epsilon.
+#include <cmath>
+
+bool same_cost(double total_cost, double opt_cost, double eps) {
+  return std::abs(total_cost - opt_cost) <= eps;
+}

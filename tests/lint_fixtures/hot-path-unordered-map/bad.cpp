@@ -1,0 +1,7 @@
+// Positive fixture: node-allocating hash map in hot-path code must be
+// flagged (hot-path-unordered-map).
+#include <unordered_map>
+
+struct SlotIndex {
+  std::unordered_map<long long, int> slot_of;
+};

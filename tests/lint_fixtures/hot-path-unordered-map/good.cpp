@@ -1,0 +1,6 @@
+// Negative fixture: a dense-id vector replaces the hash map.
+#include <vector>
+
+struct SlotIndex {
+  std::vector<int> slot_of;  // keyed by dense page id
+};

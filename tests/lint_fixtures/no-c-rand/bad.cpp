@@ -1,0 +1,8 @@
+// Positive fixture: libc rand()/srand() must be flagged (no-c-rand).
+// Not compiled; scanned by test_baclint as if at src/driver/fixture.cpp.
+#include <cstdlib>
+
+int roll_dice(int sides) {
+  std::srand(42u);
+  return rand() % sides;
+}

@@ -1,0 +1,6 @@
+// Negative fixture: draws from the seeded house RNG are fine.
+#include "util/rng.hpp"
+
+int roll_dice(bac::Xoshiro256pp& rng, int sides) {
+  return static_cast<int>(rng() % static_cast<unsigned long long>(sides));
+}

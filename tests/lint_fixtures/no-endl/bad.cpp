@@ -1,0 +1,6 @@
+// Positive fixture: std::endl forces a flush per record (no-endl).
+#include <ostream>
+
+void emit(std::ostream& os, long long value) {
+  os << value << std::endl;
+}

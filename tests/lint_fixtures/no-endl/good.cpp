@@ -1,0 +1,6 @@
+// Negative fixture: newline character, one flush at stream teardown.
+#include <ostream>
+
+void emit(std::ostream& os, long long value) {
+  os << value << '\n';
+}

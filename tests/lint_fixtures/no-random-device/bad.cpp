@@ -1,0 +1,8 @@
+// Positive fixture: nondeterministic entropy must be flagged
+// (no-random-device).
+#include <random>
+
+unsigned fresh_seed() {
+  std::random_device rd;
+  return rd();
+}

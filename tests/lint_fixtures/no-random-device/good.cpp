@@ -1,0 +1,6 @@
+// Negative fixture: worker seeds derive from the experiment root seed.
+#include "util/rng.hpp"
+
+unsigned long long child_seed(unsigned long long root, int worker) {
+  return bac::splitmix64(root + static_cast<unsigned long long>(worker));
+}

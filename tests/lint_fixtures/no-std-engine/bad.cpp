@@ -1,0 +1,8 @@
+// Positive fixture: std <random> engines are banned outside util/rng.hpp
+// (no-std-engine).
+#include <random>
+
+unsigned long long sample(unsigned seed) {
+  std::mt19937_64 gen(seed);
+  return gen();
+}

@@ -1,0 +1,7 @@
+// Negative fixture: the house xoshiro generator is the sanctioned engine.
+#include "util/rng.hpp"
+
+unsigned long long sample(unsigned long long seed) {
+  bac::Xoshiro256pp gen(seed);
+  return gen();
+}

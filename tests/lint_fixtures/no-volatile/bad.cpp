@@ -1,0 +1,5 @@
+// Positive fixture: volatile is not a synchronization primitive
+// (no-volatile).
+struct SpinFlag {
+  volatile bool done = false;
+};

@@ -1,0 +1,6 @@
+// Negative fixture: std::atomic makes the cross-thread intent checkable.
+#include <atomic>
+
+struct SpinFlag {
+  std::atomic<bool> done{false};
+};

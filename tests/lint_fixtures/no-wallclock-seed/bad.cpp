@@ -1,0 +1,11 @@
+// Positive fixture: wall-clock time as an input must be flagged
+// (no-wallclock-seed).
+#include <chrono>
+#include <ctime>
+
+unsigned long long wallclock_seed() {
+  const auto now = std::chrono::system_clock::now();
+  const auto ticks = now.time_since_epoch().count();
+  return static_cast<unsigned long long>(ticks) ^
+         static_cast<unsigned long long>(time(NULL));
+}

@@ -1,0 +1,5 @@
+// Negative fixture: intervals come from the steady-clock stopwatch and
+// seeds from the experiment root seed.
+#include "util/timer.hpp"
+
+double measure_us(const bac::Stopwatch& sw) { return sw.elapsed_us(); }

@@ -1,0 +1,12 @@
+// Positive fixture: raw std::mutex outside the annotated wrapper must be
+// flagged (raw-mutex).
+#include <mutex>
+
+struct Counter {
+  void bump() {
+    std::lock_guard<std::mutex> lock(m);
+    ++n;
+  }
+  std::mutex m;
+  long long n = 0;
+};

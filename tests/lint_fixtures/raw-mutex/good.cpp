@@ -1,0 +1,12 @@
+// Negative fixture: the annotated wrapper keeps thread-safety analysis
+// in play.
+#include "util/thread_annotations.hpp"
+
+struct Counter {
+  void bump() {
+    bac::MutexLock lock(m);
+    ++n;
+  }
+  bac::Mutex m;
+  long long n GUARDED_BY(m) = 0;
+};

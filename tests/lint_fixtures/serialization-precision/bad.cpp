@@ -1,0 +1,7 @@
+// Positive fixture: a lossy float format in golden serialization must be
+// flagged (serialization-precision).
+#include <cstdio>
+
+int format_cost(char* buf, unsigned long n, double cost) {
+  return std::snprintf(buf, n, "%g", cost);
+}

@@ -1,0 +1,7 @@
+// Negative fixture: %.17g is the shortest format that round-trips an
+// IEEE double exactly.
+#include <cstdio>
+
+int format_cost(char* buf, unsigned long n, double cost) {
+  return std::snprintf(buf, n, "%.17g", cost);
+}

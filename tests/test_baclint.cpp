@@ -1,0 +1,241 @@
+// Tests for the baclint engine (src/lint/) driven as a library.
+//
+// The fixture corpus under tests/lint_fixtures/ holds one positive
+// (must-flag) and one negative (must-pass) file per rule; the fixture
+// directory name IS the rule name, so the corpus cannot silently drift
+// from the rule table: a rule without fixtures fails
+// EveryRuleHasAFixturePair. Fixtures are scanned via lint_lines() with
+// a synthetic in-repo path (e.g. "src/core/fixture.cpp") so scoped
+// rules see the path shape they key on, independent of where the test
+// actually runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace bac::lint {
+namespace {
+
+std::string fixture_dir() { return BAC_LINT_FIXTURE_DIR; }
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// The synthetic path a rule's fixtures are linted under — chosen to
+/// sit inside the rule's include scope and outside its excludes.
+std::string synthetic_path_for(const std::string& rule) {
+  if (rule == "hot-path-unordered-map" || rule == "float-equality")
+    return "src/core/fixture.cpp";
+  if (rule == "serialization-precision") return "src/verify/fixture.cpp";
+  if (rule == "raw-mutex" || rule == "no-volatile")
+    return "src/server/fixture.cpp";
+  if (rule == "no-endl") return "src/util/fixture.cpp";
+  return "src/driver/fixture.cpp";
+}
+
+TEST(BacLint, RuleTableHasAtLeastEightUniquelyNamedRules) {
+  const auto& rules = default_rules();
+  EXPECT_GE(rules.size(), 8u);
+  std::vector<std::string> names;
+  for (const Rule& r : rules) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_FALSE(r.summary.empty()) << r.name;
+    EXPECT_FALSE(r.pattern.empty()) << r.name;
+    EXPECT_FALSE(r.hint.empty()) << r.name;
+    names.push_back(r.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end())
+      << "duplicate rule name";
+}
+
+TEST(BacLint, EveryRuleHasAFixturePair) {
+  namespace fs = std::filesystem;
+  for (const Rule& r : default_rules()) {
+    const fs::path dir = fs::path(fixture_dir()) / r.name;
+    EXPECT_TRUE(fs::is_regular_file(dir / "bad.cpp")) << r.name;
+    EXPECT_TRUE(fs::is_regular_file(dir / "good.cpp")) << r.name;
+  }
+}
+
+TEST(BacLint, PositiveFixturesAreFlaggedByTheirRule) {
+  for (const Rule& r : default_rules()) {
+    const auto lines = read_lines(fixture_dir() + "/" + r.name + "/bad.cpp");
+    const auto findings =
+        lint_lines(synthetic_path_for(r.name), lines, default_rules(), {});
+    int hits = 0;
+    for (const Finding& f : findings)
+      if (f.rule == r.name) {
+        ++hits;
+        EXPECT_FALSE(f.allowed) << r.name;
+        EXPECT_GT(f.line, 0) << r.name;
+        EXPECT_EQ(f.hint, r.hint) << r.name;
+        EXPECT_FALSE(f.text.empty()) << r.name;
+      }
+    EXPECT_GE(hits, 1) << "rule '" << r.name
+                       << "' missed its positive fixture";
+  }
+}
+
+TEST(BacLint, NegativeFixturesPassTheWholeRuleTable) {
+  for (const Rule& r : default_rules()) {
+    const auto lines = read_lines(fixture_dir() + "/" + r.name + "/good.cpp");
+    const auto findings = lint_lines(synthetic_path_for(r.name), lines,
+                                     default_rules(), default_allowlist());
+    EXPECT_TRUE(findings.empty())
+        << "negative fixture for '" << r.name << "' flagged as '"
+        << (findings.empty() ? "" : findings.front().rule) << "'";
+  }
+}
+
+TEST(BacLint, CommentedBannedTokensAreIgnored) {
+  const std::vector<std::string> lines = {
+      "// std::mutex mentioned in a line comment",
+      "/* block comment opens: std::mutex",
+      "   still inside, std::random_device too",
+      "*/ int live_code = 0;",
+      "int x = live_code; /* std::endl */ int y = x;",
+  };
+  const auto findings =
+      lint_lines("src/server/commented.cpp", lines, default_rules(), {});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(BacLint, StringLiteralsStayVisibleToFormatRules) {
+  // Comment stripping must NOT blank string literals: the
+  // serialization-precision rule matches inside format strings.
+  const std::vector<std::string> lines = {
+      R"(std::snprintf(buf, n, "%f", cost);)",
+  };
+  const auto findings =
+      lint_lines("src/verify/fmt.cpp", lines, default_rules(), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().rule, "serialization-precision");
+}
+
+TEST(BacLint, InlineSuppressionAllowsButStillReports) {
+  const std::vector<std::string> lines = {
+      "std::mutex legacy_;  // baclint: allow(raw-mutex)",
+  };
+  const auto findings =
+      lint_lines("src/server/legacy.cpp", lines, default_rules(), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings.front().allowed);
+  EXPECT_EQ(findings.front().allow_reason, "inline suppression");
+  EXPECT_EQ(count_violations(findings), 0);
+}
+
+TEST(BacLint, InlineSuppressionIsRuleSpecific) {
+  // Allowing one rule must not waive a different rule on the same line.
+  const std::vector<std::string> lines = {
+      "std::mutex legacy_;  // baclint: allow(no-endl)",
+  };
+  const auto findings =
+      lint_lines("src/server/legacy.cpp", lines, default_rules(), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings.front().allowed);
+  EXPECT_EQ(count_violations(findings), 1);
+}
+
+TEST(BacLint, AllowlistMatchesPathSuffixAndLineSubstring) {
+  const std::vector<AllowEntry> allows = {
+      {"raw-mutex", "server/legacy.cpp", "legacy_",
+       "migration scheduled; tracked in ROADMAP"},
+  };
+  const std::vector<std::string> lines = {
+      "std::mutex legacy_;",
+      "std::mutex fresh_;",
+  };
+  const auto findings =
+      lint_lines("src/server/legacy.cpp", lines, default_rules(), allows);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(findings[0].allowed);
+  EXPECT_EQ(findings[0].allow_reason,
+            "migration scheduled; tracked in ROADMAP");
+  EXPECT_FALSE(findings[1].allowed) << "entry must not waive other lines";
+  // Same lines under a different path: the suffix gate keeps the entry
+  // from applying.
+  const auto other =
+      lint_lines("src/server/other.cpp", lines, default_rules(), allows);
+  EXPECT_EQ(count_violations(other), 2);
+}
+
+TEST(BacLint, RuleScopeIncludeAndExcludeGateByPath) {
+  const std::vector<std::string> map_line = {
+      "std::unordered_map<int, int> m;"};
+  // hot-path-unordered-map only applies inside its include scope.
+  EXPECT_EQ(lint_lines("src/driver/x.cpp", map_line, default_rules(), {})
+                .size(),
+            0u);
+  EXPECT_EQ(
+      lint_lines("src/core/x.cpp", map_line, default_rules(), {}).size(),
+      1u);
+  // float-equality is excluded from the bit-exact verify layer.
+  const std::vector<std::string> eq_line = {"if (cost == ref_cost) f();"};
+  EXPECT_EQ(
+      lint_lines("src/verify/x.cpp", eq_line, default_rules(), {}).size(),
+      0u);
+  EXPECT_EQ(
+      lint_lines("src/core/x.cpp", eq_line, default_rules(), {}).size(), 1u);
+}
+
+TEST(BacLint, MalformedRulePatternThrows) {
+  const std::vector<Rule> broken = {
+      {"broken", "unbalanced paren", "(", {}, {}, "fix the regex"}};
+  EXPECT_THROW(lint_lines("src/x.cpp", {"int x;"}, broken, {}),
+               std::invalid_argument);
+}
+
+TEST(BacLint, JsonReportCarriesRulesFindingsAndAggregate) {
+  const std::vector<std::string> lines = {
+      "std::mutex a_;",
+      "std::mutex legacy_;  // baclint: allow(raw-mutex)",
+  };
+  const auto findings =
+      lint_lines("src/server/x.cpp", lines, default_rules(), {});
+  ASSERT_EQ(findings.size(), 2u);
+  std::ostringstream os;
+  write_json_report(os, default_rules(), findings, 1);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"bench\": \"baclint\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"raw-mutex\""), std::string::npos);
+  EXPECT_NE(json.find("\"violations\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"allowed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"inline suppression\""),
+            std::string::npos);
+}
+
+TEST(BacLint, ListSourceFilesIsSortedAndFindsTheCorpus) {
+  const auto files = list_source_files(fixture_dir());
+  EXPECT_GE(files.size(), 2 * default_rules().size());
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+  EXPECT_THROW(list_source_files(fixture_dir() + "/nope"),
+               std::runtime_error);
+}
+
+TEST(BacLint, DefaultAllowlistEntriesAllCarryReasons) {
+  for (const AllowEntry& a : default_allowlist()) {
+    EXPECT_FALSE(a.rule.empty());
+    EXPECT_FALSE(a.path_suffix.empty());
+    EXPECT_FALSE(a.reason.empty()) << a.rule << " @ " << a.path_suffix;
+    bool known = false;
+    for (const Rule& r : default_rules()) known |= (r.name == a.rule);
+    EXPECT_TRUE(known) << "allowlist names unknown rule " << a.rule;
+  }
+}
+
+}  // namespace
+}  // namespace bac::lint

@@ -111,6 +111,65 @@ TEST_F(TraceFormats, BactRoundTripIsBitIdenticalForEveryWorkload) {
   }
 }
 
+TEST_F(TraceFormats, RequestVarintOverflowThrowsInsteadOfTruncating) {
+  // Regression: a 10-byte request varint whose final (shift-63) byte has
+  // bits 1-6 set used to decode to just its low 70-minus-6 bits — here
+  // [0x81, 0x80 x 8, 0x02] encodes 1 + 2^64, which silently truncated to
+  // page id 0 (a perfectly valid request) instead of erroring.
+  const Instance inst = make_instance(4, 2, 2, {0, 1, 2});
+  const std::string file = path("overflow.bact");
+  std::string bytes;
+  {
+    std::ostringstream oss;
+    BactWriter writer(oss, inst.blocks, inst.k, 0);
+    writer.finish();  // header + stream terminator
+    bytes = oss.str();
+  }
+  bytes.pop_back();  // drop the 0x00 terminator
+  bytes += '\x81';
+  bytes.append(8, '\x80');
+  bytes += '\x02';  // shift-63 byte with bit 1 set: the truncated bits
+  bytes += '\0';
+  {
+    std::ofstream out(file, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  BactSource src(file);
+  PageId p;
+  try {
+    (void)src.next(p);
+    FAIL() << "over-range varint must not decode to a valid page";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("varint overflow"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(TraceFormats, HeaderVarintOverflowThrowsInsteadOfTruncating) {
+  // Same guard on the header decoder: n_pages = [0x85, 0x80 x 8, 0x02]
+  // (5 + 2^64) used to truncate to a plausible n_pages = 5 and fail only
+  // later, on whatever the misaligned remainder happened to decode to.
+  const std::string file = path("overflow_header.bact");
+  {
+    std::ofstream out(file, std::ios::binary);
+    out.write("BACT1\n", 6);
+    std::string v;
+    v += '\x85';
+    v.append(8, '\x80');
+    v += '\x02';
+    out.write(v.data(), static_cast<std::streamsize>(v.size()));
+  }
+  try {
+    BactSource src(file);
+    FAIL() << "over-range header varint must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("varint overflow"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST_F(TraceFormats, TextRoundTripIsBitIdenticalForEveryWorkload) {
   int wi = 0;
   for (const Instance& inst : generator_workloads()) {

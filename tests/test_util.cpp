@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -251,6 +252,34 @@ TEST(ThreadPool, ShutdownDrainsQueuedWorkAndIsIdempotent) {
   EXPECT_EQ(done.load(), 8);
   pool.shutdown();  // second call is a no-op
   EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(ThreadPool, ConcurrentShutdownBothObserveQuiescence) {
+  // Regression: shutdown() used to join workers outside the lock, so a
+  // second concurrent caller could return while the first was still
+  // joining — "shutdown returned" did not mean "no task is running".
+  // Now the whole join is serialized under join_mutex_, so *every*
+  // caller that returns from shutdown() must see all queued work done.
+  for (int round = 0; round < 16; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 4; ++i)
+      (void)pool.submit([&] { done++; });
+    std::atomic<bool> a_ok{false}, b_ok{false};
+    std::thread a([&] {
+      pool.shutdown();
+      a_ok.store(done.load() == 4);
+    });
+    std::thread b([&] {
+      pool.shutdown();
+      b_ok.store(done.load() == 4);
+    });
+    a.join();
+    b.join();
+    EXPECT_TRUE(a_ok.load()) << "round " << round;
+    EXPECT_TRUE(b_ok.load()) << "round " << round;
+    EXPECT_EQ(pool.size(), 0u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+// baclint — the repo-specific invariant linter (engine: src/lint/).
+//
+//   baclint --check src [--check tools ...]   scan trees (or single files)
+//           [--json report.json]              machine-readable report
+//           [--rule <name>]                   restrict to one rule (repeat)
+//           [--verbose]                       also print allowed findings
+//           [--list-rules]                    print the rule table and exit
+//
+// Exit status: 0 when every finding is allowed (or none), 1 when any
+// violation stands, 2 on usage errors. Diagnostics are one line per
+// finding — `path:line: [rule] offending text` plus an indented fix
+// hint — so editors and CI annotate them directly.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --check <path> [--check <path> ...] "
+               "[--json <report.json>] [--rule <name> ...] [--verbose]\n"
+               "       %s --list-rules\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bac::lint;
+  std::vector<std::string> roots;
+  std::vector<std::string> only_rules;
+  std::string json_path;
+  bool verbose = false;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "baclint: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--check") {
+      roots.emplace_back(next("--check"));
+    } else if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--rule") {
+      only_rules.emplace_back(next("--rule"));
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]) == 2 ? 0 : 0;
+    } else {
+      std::fprintf(stderr, "baclint: unknown argument '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  std::vector<Rule> rules;
+  for (const Rule& r : default_rules()) {
+    if (only_rules.empty()) {
+      rules.push_back(r);
+      continue;
+    }
+    for (const std::string& name : only_rules)
+      if (r.name == name) {
+        rules.push_back(r);
+        break;
+      }
+  }
+  if (!only_rules.empty() && rules.size() != only_rules.size()) {
+    std::fprintf(stderr,
+                 "baclint: unknown rule in --rule (see --list-rules)\n");
+    return 2;
+  }
+
+  if (list_rules) {
+    for (const Rule& r : rules) {
+      std::printf("%-26s %s\n", r.name.c_str(), r.summary.c_str());
+      std::printf("%-26s hint: %s\n", "", r.hint.c_str());
+    }
+    return 0;
+  }
+  if (roots.empty()) return usage(argv[0]);
+
+  try {
+    std::vector<Finding> findings;
+    long long files_scanned = 0;
+    for (const std::string& root : roots) {
+      for (const std::string& file : list_source_files(root)) {
+        ++files_scanned;
+        auto fs = lint_file(file, rules, default_allowlist());
+        findings.insert(findings.end(), fs.begin(), fs.end());
+      }
+    }
+
+    int violations = 0;
+    for (const Finding& f : findings) {
+      if (f.allowed) {
+        if (verbose)
+          std::printf("%s:%lld: note: [%s] allowed (%s): %s\n",
+                      f.path.c_str(), f.line, f.rule.c_str(),
+                      f.allow_reason.c_str(), f.text.c_str());
+        continue;
+      }
+      ++violations;
+      std::printf("%s:%lld: error: [%s] %s\n", f.path.c_str(), f.line,
+                  f.rule.c_str(), f.text.c_str());
+      std::printf("    hint: %s\n", f.hint.c_str());
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "baclint: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+      }
+      write_json_report(out, rules, findings, files_scanned);
+    }
+
+    std::printf(
+        "baclint: %lld files, %zu rules, %zu findings (%d violations, "
+        "%zu allowed)\n",
+        files_scanned, rules.size(), findings.size(), violations,
+        findings.size() - static_cast<std::size_t>(violations));
+    return violations == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "baclint: %s\n", e.what());
+    return 2;
+  }
+}
