@@ -13,6 +13,7 @@
 #include "algs/opt.hpp"
 #include "algs/rounding.hpp"
 #include "core/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "submodular/flush_coverage.hpp"
 #include "trace/generators.hpp"
 #include "util/timer.hpp"
@@ -91,6 +92,23 @@ void simulate_case(Table& table, const std::string& name, int n, Time T) {
   });
 }
 
+/// The enabled-path overhead probe: the same LRU workload as
+/// simulate/LRU, but with the step-cost histogram and a metrics fold
+/// active. Its checksum must equal the plain case's — observability is
+/// read-only — and the Mitems/s delta between the two rows IS the
+/// enabled-path cost, tracked run over run by --compare.
+void simulate_obs_case(Table& table, int n, Time T) {
+  const Instance inst = bench_instance(n, 8, n / 4, T);
+  LruPolicy policy;
+  obs::MetricRegistry registry;
+  SimOptions options;
+  options.record_sketch = true;
+  options.metrics = &registry;
+  run_case(table, "simulate/LRU-obs/" + std::to_string(n), inst,
+           inst.horizon(),
+           [&] { return simulate(inst, policy, options).eviction_cost; });
+}
+
 void simulator_throughput() {
   Table table = perf_table();
   // Light (index-bound) policies get long traces for stable timing; the
@@ -99,6 +117,7 @@ void simulator_throughput() {
   constexpr Time kLong = 200'000;
   simulate_case<LruPolicy>(table, "simulate/LRU", 256, kLong);
   simulate_case<LruPolicy>(table, "simulate/LRU", 1024, kLong);
+  simulate_obs_case(table, 1024, kLong);
   simulate_case<FifoPolicy>(table, "simulate/FIFO", 1024, kLong);
   simulate_case<LfuPolicy>(table, "simulate/LFU", 1024, kLong);
   simulate_case<GreedyDualPolicy>(table, "simulate/GreedyDual", 1024, kLong);

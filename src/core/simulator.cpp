@@ -18,6 +18,10 @@ namespace {
 /// and serve loops tight, small enough to stay in L1 (2 KiB).
 constexpr int kSimBatch = 512;
 
+/// Requests between `progress` trace events (checked once per batch, so
+/// tracing costs one pointer test per 512 requests when disabled).
+constexpr long long kTraceProgressStride = 1 << 20;
+
 }  // namespace
 
 RunResult simulate(RequestSource& source, OnlinePolicy& policy,
@@ -45,7 +49,13 @@ RunResult simulate(RequestSource& source, OnlinePolicy& policy,
   if (options.record_schedule && hint > 0)
     result.schedule.steps.reserve(static_cast<std::size_t>(hint));
 
-  P2Quantile p50(0.50), p90(0.90), p99(0.99);
+  obs::Histogram step_hist;
+  const std::string obs_label =
+      options.trace == nullptr
+          ? std::string()
+          : options.trace_label.empty() ? policy.name() : options.trace_label;
+  obs::PhaseTimer phase(options.trace, obs_label);
+  long long next_progress = kTraceProgressStride;
   std::unique_ptr<MissRatioCurve> mrc;
   if (!options.mrc_ks.empty())
     mrc = std::make_unique<MissRatioCurve>(ctx.n_pages());
@@ -118,38 +128,48 @@ RunResult simulate(RequestSource& source, OnlinePolicy& policy,
         policy.on_request(t, p, ops);
         audit(p);
       }
-      continue;
-    }
-    for (int i = 0; i < m; ++i) {
-      const PageId p = batch[i];
-      check_page(p);
-      ++t;
-      meter.begin_step(t);
-      if (options.record_schedule) {
-        result.schedule.steps.emplace_back();
-        auto& step = result.schedule.steps.back();
-        ops.set_capture(&step.evictions, &step.fetches);
-      }
-      if (!cache.contains(p)) ++result.misses;
-      if (mrc) mrc->add(p);
-      policy.on_request(t, p, ops);
-      audit(p);
+    } else {
+      for (int i = 0; i < m; ++i) {
+        const PageId p = batch[i];
+        check_page(p);
+        ++t;
+        meter.begin_step(t);
+        if (options.record_schedule) {
+          result.schedule.steps.emplace_back();
+          auto& step = result.schedule.steps.back();
+          ops.set_capture(&step.evictions, &step.fetches);
+        }
+        if (!cache.contains(p)) ++result.misses;
+        if (mrc) mrc->add(p);
+        policy.on_request(t, p, ops);
+        audit(p);
 
-      if (options.record_steps) {
-        result.step_eviction_cost.push_back(meter.eviction_cost() -
-                                            prev_evict);
-        result.step_fetch_cost.push_back(meter.fetch_cost() - prev_fetch);
+        if (options.record_steps) {
+          result.step_eviction_cost.push_back(meter.eviction_cost() -
+                                              prev_evict);
+          result.step_fetch_cost.push_back(meter.fetch_cost() - prev_fetch);
+        }
+        if (options.record_sketch) {
+          const Cost step_cost = (meter.eviction_cost() - prev_evict) +
+                                 (meter.fetch_cost() - prev_fetch);
+          step_hist.add(static_cast<double>(step_cost));
+          if (step_cost > result.step_cost_max)
+            result.step_cost_max = step_cost;
+        }
+        prev_evict = meter.eviction_cost();
+        prev_fetch = meter.fetch_cost();
       }
-      if (options.record_sketch) {
-        const Cost step_cost = (meter.eviction_cost() - prev_evict) +
-                               (meter.fetch_cost() - prev_fetch);
-        p50.add(step_cost);
-        p90.add(step_cost);
-        p99.add(step_cost);
-        if (step_cost > result.step_cost_max) result.step_cost_max = step_cost;
-      }
-      prev_evict = meter.eviction_cost();
-      prev_fetch = meter.fetch_cost();
+    }
+    if (options.trace != nullptr && t >= next_progress) {
+      obs::TraceEvent e;
+      e.type = "progress";
+      e.name = obs_label;
+      e.num("t", static_cast<double>(t))
+          .num("misses", static_cast<double>(result.misses))
+          .num("eviction_cost", static_cast<double>(meter.eviction_cost()))
+          .num("fetch_cost", static_cast<double>(meter.fetch_cost()));
+      options.trace->emit(e);
+      while (next_progress <= t) next_progress += kTraceProgressStride;
     }
   }
 
@@ -159,11 +179,6 @@ RunResult simulate(RequestSource& source, OnlinePolicy& policy,
     result.final_cache = cache.pages();
     std::sort(result.final_cache.begin(), result.final_cache.end());
     result.capture_cancellations = ops.capture_cancellations();
-  }
-  if (options.record_sketch) {
-    result.step_cost_p50 = p50.value();
-    result.step_cost_p90 = p90.value();
-    result.step_cost_p99 = p99.value();
   }
   if (mrc)
     for (const int k : options.mrc_ks)
@@ -176,6 +191,46 @@ RunResult simulate(RequestSource& source, OnlinePolicy& policy,
   result.fetch_block_events = meter.fetch_block_events();
   result.evicted_pages = meter.evicted_pages();
   result.fetched_pages = meter.fetched_pages();
+
+  if (options.metrics != nullptr) {
+    // Pure event counts — deterministic for a fixed (source, policy,
+    // seed) at any thread count, so CI can diff them across runs.
+    obs::MetricRegistry& m = *options.metrics;
+    m.counter("sim_requests_total").inc(static_cast<std::uint64_t>(t));
+    m.counter("sim_misses_total")
+        .inc(static_cast<std::uint64_t>(result.misses));
+    m.counter("sim_hits_total")
+        .inc(static_cast<std::uint64_t>(t - result.misses));
+    m.counter("sim_eviction_cost_total")
+        .inc(static_cast<std::uint64_t>(result.eviction_cost));
+    m.counter("sim_fetch_cost_total")
+        .inc(static_cast<std::uint64_t>(result.fetch_cost));
+    m.counter("sim_flush_events_total")
+        .inc(static_cast<std::uint64_t>(result.evict_block_events));
+    m.counter("sim_fetch_events_total")
+        .inc(static_cast<std::uint64_t>(result.fetch_block_events));
+    m.counter("sim_evicted_pages_total")
+        .inc(static_cast<std::uint64_t>(result.evicted_pages));
+    m.counter("sim_fetched_pages_total")
+        .inc(static_cast<std::uint64_t>(result.fetched_pages));
+    if (options.record_sketch) m.merge_histogram("sim_step_cost", step_hist);
+  }
+  if (options.trace != nullptr) {
+    // Boundary counters ride on the phase_end event (with dur_ms).
+    phase.num("requests", static_cast<double>(t));
+    phase.num("misses", static_cast<double>(result.misses));
+    phase.num("eviction_cost", static_cast<double>(result.eviction_cost));
+    phase.num("fetch_cost", static_cast<double>(result.fetch_cost));
+    phase.num("flush_events", static_cast<double>(result.evict_block_events));
+    phase.num("fetch_events", static_cast<double>(result.fetch_block_events));
+    phase.num("violations", static_cast<double>(result.violations));
+  }
+  if (options.record_sketch) {
+    result.step_cost_p50 = step_hist.quantile(0.50);
+    result.step_cost_p90 = step_hist.quantile(0.90);
+    result.step_cost_p99 = step_hist.quantile(0.99);
+    result.step_cost_hist = std::move(step_hist);
+  }
   return result;
 }
 

@@ -5,13 +5,18 @@
 // materialized Instance (the InstanceSource adapter — the historical API,
 // still the signature every test uses) and over streaming traces (.bact,
 // text, CSV, synthetic generators) whose length never enters memory.
-// Per-step costs are folded online into O(1)-memory P^2 percentile
-// sketches; an optional single-pass LRU miss-ratio curve rides along.
+// Per-step costs are folded online into a fixed-layout mergeable
+// log-bucket histogram (obs/histogram.hpp, O(1) memory); an optional
+// single-pass LRU miss-ratio curve rides along. With an obs::TraceWriter
+// attached the run emits phase begin/progress/end JSONL events; with a
+// MetricRegistry attached its event counters and step-cost histogram are
+// folded in at the end of the run.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -20,6 +25,9 @@
 #include "core/request_source.hpp"
 #include "core/schedule.hpp"
 #include "core/types.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bac {
 
@@ -28,10 +36,18 @@ struct SimOptions {
   bool record_steps = false;     ///< keep per-step cost series
   bool record_schedule = false;  ///< capture the policy's actions
   bool throw_on_violation = true;///< throw instead of silently repairing
-  bool record_sketch = true;     ///< per-step cost percentile sketches (O(1))
+  bool record_sketch = true;     ///< per-step cost histogram (O(1) memory)
   /// Cache sizes to evaluate the single-pass LRU miss-ratio curve at;
   /// empty disables the curve (it costs O(log n) per request).
   std::vector<int> mrc_ks;
+  /// Optional observability hooks; both nullptr by default (the disabled
+  /// path costs one pointer test per 512-request batch). Counters folded
+  /// into `metrics` are pure event counts — deterministic for a fixed
+  /// (source, policy, seed) at any thread count.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceWriter* trace = nullptr;
+  /// Names the phase span and progress events; policy name when empty.
+  std::string trace_label;
 };
 
 struct RunResult {
@@ -56,8 +72,13 @@ struct RunResult {
   /// is state-exact but may cost strictly less. Filled when
   /// record_schedule.
   long long capture_cancellations = 0;
-  /// P^2 percentile sketch of per-step total (eviction+fetch) cost, and
-  /// the exact per-step maximum; filled when record_sketch.
+  /// Mergeable log-bucket histogram of per-step total (eviction+fetch)
+  /// cost; filled when record_sketch. Bucket counts are deterministic
+  /// for a fixed (source, policy, seed).
+  obs::Histogram step_cost_hist;
+  /// Quantile summaries of step_cost_hist (bucket-midpoint estimates,
+  /// NaN when no steps ran) and the exact per-step maximum; filled when
+  /// record_sketch. These replace the former non-mergeable P^2 sketches.
   double step_cost_p50 = 0;
   double step_cost_p90 = 0;
   double step_cost_p99 = 0;

@@ -173,6 +173,7 @@ SweepTotals run_sweep(const SweepConfig& config, const RecordSink& sink) {
   totals.cells = static_cast<long long>(cells.size());
 
   Stopwatch sweep_clock;
+  obs::Span sweep_span(config.trace, "sweep");
   global_pool().parallel_for_indexed(cells.size(), [&](std::size_t i) {
     const Cell& cell = cells[i];
     auto policy = make_policy(cell.policy);
@@ -184,6 +185,12 @@ SweepTotals run_sweep(const SweepConfig& config, const RecordSink& sink) {
     record.workload = cell.workload;
     record.k = cell.k;
     record.trials = monte_carlo ? config.trials : 1;
+
+    const std::string cell_name =
+        config.trace == nullptr
+            ? std::string()
+            : cell.policy + "/" + cell.workload + "/k" + std::to_string(cell.k);
+    if (config.trace != nullptr) config.trace->emit("cell_begin", cell_name);
 
     Stopwatch cell_clock;
     if (monte_carlo) {
@@ -210,6 +217,10 @@ SweepTotals run_sweep(const SweepConfig& config, const RecordSink& sink) {
       SimOptions options;
       options.seed = config.seed;
       if (config.mrc) options.mrc_ks = config.ks;
+      // Cells fold event counters into the shared registry; per-cell
+      // phase spans stay off (cell_begin/cell_end already bracket the
+      // cell, and nested per-cell phases would swamp a big grid's trace).
+      options.metrics = config.metrics;
       const RunResult r = simulate(*source, *policy, options);
       record.requests = r.requests;
       record.misses = r.misses;
@@ -231,6 +242,21 @@ SweepTotals run_sweep(const SweepConfig& config, const RecordSink& sink) {
       MutexLock lock(totals_mutex);
       totals.requests += record.requests;
     }
+    if (config.metrics != nullptr) {
+      config.metrics->counter("sweep_cells_total").inc();
+      config.metrics->counter("sweep_requests_total")
+          .inc(static_cast<std::uint64_t>(record.requests));
+    }
+    if (config.trace != nullptr) {
+      obs::TraceEvent e;
+      e.type = "cell_end";
+      e.name = cell_name;
+      e.num("dur_ms", record.wall_ms)
+          .num("requests", static_cast<double>(record.requests))
+          .num("cost", record.cost)
+          .num("rps", record.rps);
+      config.trace->emit(e);
+    }
     if (sink) sink(record);
   });
 
@@ -238,6 +264,11 @@ SweepTotals run_sweep(const SweepConfig& config, const RecordSink& sink) {
   totals.rps = totals.wall_ms > 0 ? static_cast<double>(totals.requests) /
                                         (totals.wall_ms / 1000.0)
                                   : 0.0;
+  if (config.metrics != nullptr)
+    config.metrics->gauge("sweep_wall_ms").set(totals.wall_ms);
+  sweep_span.num("cells", static_cast<double>(totals.cells));
+  sweep_span.num("requests", static_cast<double>(totals.requests));
+  sweep_span.end();
   return totals;
 }
 

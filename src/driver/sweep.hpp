@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "core/request_source.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bac::driver {
 
@@ -45,6 +47,15 @@ struct SweepConfig {
   int trials = 1;          ///< Monte-Carlo trials for randomized policies
   bool mrc = false;        ///< attach the LRU miss-ratio curve at the ks
   int csv_block_pages = 8; ///< block inference granularity for .csv
+  /// Optional observability hooks (nullptr = disabled). The sweep emits a
+  /// `sweep` span plus cell_begin/cell_end events as cells complete (so a
+  /// 50M-request grid is watchable mid-flight), forwards `metrics` into
+  /// every cell's simulate() so sim_* event counters aggregate across the
+  /// grid, and counts cells under `sweep_cells_total`. Counter totals are
+  /// sums of deterministic per-cell counts, hence independent of the pool
+  /// size; only wall-clock fields vary.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceWriter* trace = nullptr;
 };
 
 struct SweepRecord {

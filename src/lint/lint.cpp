@@ -106,6 +106,15 @@ const std::vector<Rule>& rule_table() {
        {"lint/"},
        "write '\\n' and flush once at the end (or rely on the stream "
        "destructor)"},
+      {"raw-chrono-timing",
+       "direct std::chrono clock reads are banned: scattered now() calls "
+       "bypass the observability layer and invite wall-clock values into "
+       "checksummed outputs",
+       R"(std::chrono::(?:steady_clock|high_resolution_clock)::now\s*\()",
+       {},
+       {"util/timer.hpp", "lint/"},
+       "time intervals with bac::Stopwatch (util/timer.hpp) or an obs "
+       "Span/PhaseTimer (obs/trace.hpp)"},
   };
   return rules;
 }

@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace bac::obs {
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  MutexLock lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  MutexLock lock(mutex_);
+  return gauges_[name];
+}
+
+void MetricRegistry::merge_histogram(const std::string& name,
+                                     const Histogram& h) {
+  MutexLock lock(mutex_);
+  histograms_[name].merge(h);
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  MutexLock lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c.value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g.value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) snap.histograms.emplace_back(name, h);
+  return snap;
+}
+
+namespace {
+
+void write_histogram_json(std::ostream& os, const Histogram& h) {
+  os << "{\"count\": " << h.count() << ", \"sum\": ";
+  write_json_number(os, h.sum());
+  os << ", \"min\": ";
+  write_json_number(os, h.min());
+  os << ", \"max\": ";
+  write_json_number(os, h.max());
+  os << ", \"mean\": ";
+  write_json_number(os, h.mean());
+  for (const auto& [key, q] : {std::pair<const char*, double>{"p50", 0.50},
+                               {"p90", 0.90},
+                               {"p99", 0.99},
+                               {"p999", 0.999}}) {
+    os << ", \"" << key << "\": ";
+    write_json_number(os, h.quantile(q));
+  }
+  os << ", \"buckets\": [";
+  bool first = true;
+  h.for_each_nonzero([&](int b, std::uint64_t n) {
+    if (!first) os << ", ";
+    first = false;
+    os << "[" << b << ", " << n << "]";
+  });
+  os << "]}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap,
+                        const std::string& tool) {
+  os.precision(17);
+  os << "{\n  \"schema\": \"bacobs-metrics-v1\",\n  \"tool\": ";
+  write_json_string(os, tool);
+  os << ",\n  \"bucket_layout\": {\"min_exp2\": " << Histogram::kMinExp2
+     << ", \"max_exp2\": " << Histogram::kMaxExp2
+     << ", \"sub_buckets\": " << Histogram::kSubBuckets << "},\n";
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i) os << ", ";
+    os << "\n    ";
+    write_json_string(os, snap.counters[i].first);
+    os << ": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "},\n" : "\n  },\n");
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i) os << ", ";
+    os << "\n    ";
+    write_json_string(os, snap.gauges[i].first);
+    os << ": ";
+    write_json_number(os, snap.gauges[i].second);
+  }
+  os << (snap.gauges.empty() ? "},\n" : "\n  },\n");
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    if (i) os << ", ";
+    os << "\n    ";
+    write_json_string(os, snap.histograms[i].first);
+    os << ": ";
+    write_histogram_json(os, snap.histograms[i].second);
+  }
+  os << (snap.histograms.empty() ? "}\n" : "\n  }\n");
+  os << "}\n";
+}
+
+void write_prometheus_text(std::ostream& os, const MetricsSnapshot& snap,
+                           const std::string& prefix) {
+  os.precision(17);
+  for (const auto& [name, v] : snap.counters) {
+    os << "# TYPE " << prefix << name << " counter\n";
+    os << prefix << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    os << "# TYPE " << prefix << name << " gauge\n";
+    os << prefix << name << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    os << "# TYPE " << prefix << name << " histogram\n";
+    std::uint64_t cum = 0;
+    h.for_each_nonzero([&](int b, std::uint64_t n) {
+      cum += n;
+      // The overflow bucket's upper bound is +inf; the canonical le="+Inf"
+      // series emitted below already covers it.
+      if (b == Histogram::kBucketCount - 1) return;
+      os << prefix << name << "_bucket{le=\"" << Histogram::bucket_upper(b)
+         << "\"} " << cum << "\n";
+    });
+    os << prefix << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+    os << prefix << name << "_sum " << (h.empty() ? 0.0 : h.sum()) << "\n";
+    os << prefix << name << "_count " << h.count() << "\n";
+  }
+}
+
+void write_metrics_file(const std::string& path, const MetricsSnapshot& snap,
+                        const std::string& tool) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open metrics file: " + path);
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0)
+    write_prometheus_text(os, snap);
+  else
+    write_metrics_json(os, snap, tool);
+}
+
+}  // namespace bac::obs

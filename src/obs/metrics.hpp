@@ -1,0 +1,110 @@
+// MetricRegistry: named Counter / Gauge / Histogram slots with a
+// deterministic (name-sorted) snapshot, plus JSON and Prometheus-style
+// text exporters.
+//
+// Usage contract, tuned for the repo's determinism discipline:
+//   - Counter / Gauge are relaxed atomics — safe to bump from any thread
+//     with no lock; the handles returned by counter()/gauge() are stable
+//     for the registry's lifetime, so hot paths resolve the name once.
+//   - Histogram slots are folded into via merge_histogram(): workers
+//     accumulate into a cheap *local* obs::Histogram (no lock, no atomics)
+//     and merge it in at a phase boundary. Merges are associative and
+//     commutative (histogram.hpp), so bucket counts in a snapshot are
+//     independent of worker scheduling; only the float `sum` may wobble
+//     in its last bits with merge order.
+//   - snapshot() orders every section by name, so exporters emit
+//     byte-stable output given identical counter values.
+//
+// Determinism contract (see DESIGN.md appendix): counters must count
+// *events* (requests, misses, cells, files), never time. Wall-clock
+// belongs in gauges (`*_ms` names) or latency histograms, which the CI
+// invariance check deliberately ignores.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace bac::obs {
+
+/// Monotone event counter (relaxed atomic; cheap from any thread).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-writer-wins numeric gauge (relaxed atomic double).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time copy of a registry, every section name-sorted.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram>> histograms;
+};
+
+class MetricRegistry {
+ public:
+  /// Find-or-create; the returned reference is stable until destruction.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Fold a locally accumulated histogram into the named slot (creating
+  /// it empty on first use). Associative/commutative, so concurrent
+  /// workers may merge in any completion order.
+  void merge_histogram(const std::string& name, const Histogram& h);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable Mutex mutex_;
+  // std::map: node-stable references and name-sorted iteration for free.
+  std::map<std::string, Counter> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, Gauge> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, Histogram> histograms_ GUARDED_BY(mutex_);
+};
+
+/// Metrics JSON document (`bacobs-metrics-v1` schema): tool name, the
+/// fixed bucket layout, then `counters` / `gauges` / `histograms`
+/// objects. Histograms carry count/sum/min/max/mean, p50/p90/p99/p999,
+/// and a sparse `buckets` array of [index, count] pairs. Empty-histogram
+/// summaries serialize as null (NaN -> null, the repo-wide convention).
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap,
+                        const std::string& tool);
+
+/// Prometheus text exposition (for the future bacserve scrape endpoint):
+/// counters/gauges as single samples, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum` / `_count`. Metric names get
+/// `prefix` prepended.
+void write_prometheus_text(std::ostream& os, const MetricsSnapshot& snap,
+                           const std::string& prefix = "bac_");
+
+/// Write a snapshot to `path`: Prometheus text when the extension is
+/// `.prom`, the JSON document otherwise. Throws std::runtime_error when
+/// the file cannot be opened.
+void write_metrics_file(const std::string& path, const MetricsSnapshot& snap,
+                        const std::string& tool);
+
+}  // namespace bac::obs

@@ -127,10 +127,10 @@ ShardSnapshot ConcurrentCache::shard_snapshot(int shard) const {
 
 ServerStats ConcurrentCache::stats() const {
   ServerStats out;
-  // Approximate quantile merge: count-weighted mean of the per-shard P^2
-  // estimates. Latency means merge exactly via Welford; maxima via max.
-  double p50_weighted = 0, p99_weighted = 0, mean_weighted = 0;
-  long long lat_count = 0;
+  // Histogram merges are exact (bucket-wise count adds in shard index
+  // order) — the merged quantiles describe the union of all per-request
+  // samples at bucket resolution, not a weighted mean of per-shard
+  // estimates as with the former P^2 sketches.
   for (const auto& shard : shards_) {
     const ShardSnapshot s = shard->snapshot();
     out.requests += s.requests;
@@ -145,22 +145,46 @@ ServerStats ConcurrentCache::stats() const {
     out.evicted_pages += s.evicted_pages;
     out.fetched_pages += s.fetched_pages;
     out.cached_pages += s.cached_pages;
-    if (s.requests > 0) {
-      const auto w = static_cast<double>(s.requests);
-      p50_weighted += w * s.lat_p50_us;
-      p99_weighted += w * s.lat_p99_us;
-      mean_weighted += w * s.lat_mean_us;
-      if (s.lat_max_us > out.lat_max_us) out.lat_max_us = s.lat_max_us;
-      lat_count += s.requests;
-    }
+    out.latency_us.merge(s.latency_us);
+    out.lock_wait_us.merge(s.lock_wait_us);
   }
-  if (lat_count > 0) {
-    const auto total = static_cast<double>(lat_count);
-    out.lat_p50_us = p50_weighted / total;
-    out.lat_p99_us = p99_weighted / total;
-    out.lat_mean_us = mean_weighted / total;
+  if (out.requests > 0) {
+    out.lat_p50_us = out.latency_us.quantile(0.50);
+    out.lat_p99_us = out.latency_us.quantile(0.99);
+    out.lat_mean_us = out.latency_us.mean();
+    out.lat_max_us = out.latency_us.max();
   }
   return out;
+}
+
+void ConcurrentCache::export_metrics(obs::MetricRegistry& registry) const {
+  const ServerStats s = stats();
+  // Every counter here is an *event* count: deterministic under any
+  // dispatch that preserves per-shard order, hence bit-identical across
+  // thread counts (the concurrency oracle and CI metrics-smoke assert
+  // this). Latency histograms are wall-clock and deliberately excluded
+  // from that invariant.
+  registry.counter("server_requests_total").inc(
+      static_cast<std::uint64_t>(s.requests));
+  registry.counter("server_hits_total").inc(static_cast<std::uint64_t>(s.hits));
+  registry.counter("server_misses_total").inc(
+      static_cast<std::uint64_t>(s.misses));
+  registry.counter("server_eviction_cost_total").inc(
+      static_cast<std::uint64_t>(s.eviction_cost));
+  registry.counter("server_fetch_cost_total").inc(
+      static_cast<std::uint64_t>(s.fetch_cost));
+  registry.counter("server_evict_block_events_total").inc(
+      static_cast<std::uint64_t>(s.evict_block_events));
+  registry.counter("server_fetch_block_events_total").inc(
+      static_cast<std::uint64_t>(s.fetch_block_events));
+  registry.counter("server_evicted_pages_total").inc(
+      static_cast<std::uint64_t>(s.evicted_pages));
+  registry.counter("server_fetched_pages_total").inc(
+      static_cast<std::uint64_t>(s.fetched_pages));
+  registry.gauge("server_cached_pages").set(
+      static_cast<double>(s.cached_pages));
+  registry.merge_histogram("server_latency_us", s.latency_us);
+  registry.merge_histogram("server_lock_wait_us", s.lock_wait_us);
 }
 
 }  // namespace bac::server

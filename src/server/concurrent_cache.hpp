@@ -23,6 +23,7 @@
 
 #include "core/instance.hpp"
 #include "core/policy.hpp"
+#include "obs/metrics.hpp"
 #include "server/shard.hpp"
 
 namespace bac::server {
@@ -41,12 +42,18 @@ struct ServerStats {
   long long evicted_pages = 0;
   long long fetched_pages = 0;
   int cached_pages = 0;
-  /// Count-weighted means of the per-shard P^2 estimates (approximate —
-  /// P^2 sketches have no exact merge); 0 before any request.
+  /// Union of the per-shard per-request histograms (exact bucket-wise
+  /// merge in shard index order — histogram merges are associative, so
+  /// the counts are independent of how requests were dispatched).
+  obs::Histogram latency_us;
+  obs::Histogram lock_wait_us;
+  /// Derived from latency_us: bucket-midpoint quantile estimates of the
+  /// merged per-REQUEST distribution; mean/max exact. 0 before any
+  /// request.
   double lat_p50_us = 0;
   double lat_p99_us = 0;
-  double lat_mean_us = 0;  ///< exact (Welford merge across shards)
-  double lat_max_us = 0;   ///< exact
+  double lat_mean_us = 0;
+  double lat_max_us = 0;
 
   [[nodiscard]] Cost total_cost() const noexcept {
     return eviction_cost + fetch_cost;
@@ -101,6 +108,12 @@ class ConcurrentCache {
   /// while traffic is in flight.
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] ShardSnapshot shard_snapshot(int shard) const;
+
+  /// Fold the current stats() into `registry` under `server_*` names:
+  /// event counters (requests/hits/misses, costs, block events, pages —
+  /// all bit-identical across thread counts for shard-order-preserving
+  /// dispatch) plus the merged latency/lock-wait histograms.
+  void export_metrics(obs::MetricRegistry& registry) const;
 
   /// Largest shard count that keeps every shard's capacity >= beta
   /// (i.e. floor(k / beta), at least 1).

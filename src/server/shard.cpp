@@ -1,9 +1,10 @@
 #include "server/shard.hpp"
 
-#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <string>
+
+#include "util/timer.hpp"
 
 namespace bac::server {
 
@@ -23,10 +24,17 @@ bool CacheShard::get(PageId p) { return get_batch(&p, 1) == 1; }
 
 long long CacheShard::get_batch(const PageId* ps, int n) {
   if (n <= 0) return 0;
-  // Latency includes the lock wait: under closed-loop load the queueing
-  // delay at a hot shard is part of the service time a client observes.
-  const auto start = std::chrono::steady_clock::now();
+  // One clock read per request (end of request i starts request i+1).
+  // The first request's latency includes the lock wait: under closed-loop
+  // load the queueing delay at a hot shard is part of the service time a
+  // client observes. Recording per request — not one sample of the batch
+  // mean — is what makes the p99/p999 of latency_us_ meaningful: a single
+  // slow request in a 512-batch must show up in the tail, not be diluted
+  // 512-fold.
+  const Stopwatch clock;
   MutexLock lock(mutex_);
+  const double lock_wait_us = clock.micros();
+  double prev_us = 0.0;
   long long batch_hits = 0;
   for (int i = 0; i < n; ++i) {
     const PageId p = ps[i];
@@ -51,14 +59,11 @@ long long CacheShard::get_batch(const PageId* ps, int n) {
     if (cache_.size() > header_->k)
       throw std::runtime_error("CacheShard: policy " + policy_->name() +
                                " exceeded shard capacity");
+    const double now_us = clock.micros();
+    latency_us_.add(now_us - prev_us);
+    prev_us = now_us;
   }
-  const double us = std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - start)
-                        .count() /
-                    static_cast<double>(n);
-  lat_p50_.add(us);
-  lat_p99_.add(us);
-  lat_us_.add(us);
+  lock_wait_us_.add(lock_wait_us);
   return batch_hits;
 }
 
@@ -78,11 +83,13 @@ ShardSnapshot CacheShard::snapshot() const {
   s.fetched_pages = meter_.fetched_pages();
   s.cached_pages = cache_.size();
   s.capacity = header_->k;
+  s.latency_us = latency_us_;
+  s.lock_wait_us = lock_wait_us_;
   if (s.requests > 0) {
-    s.lat_p50_us = lat_p50_.value();
-    s.lat_p99_us = lat_p99_.value();
-    s.lat_mean_us = lat_us_.mean();
-    s.lat_max_us = lat_us_.max();
+    s.lat_p50_us = s.latency_us.quantile(0.50);
+    s.lat_p99_us = s.latency_us.quantile(0.99);
+    s.lat_mean_us = s.latency_us.mean();
+    s.lat_max_us = s.latency_us.max();
   }
   return s;
 }

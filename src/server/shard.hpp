@@ -6,9 +6,11 @@
 // batched fetch of a block happens entirely inside one shard's meter,
 // within one of that shard's time steps. Requests for a shard's pages are
 // serialized by the shard mutex; distinct shards share no mutable state
-// and serve fully in parallel. Per-request service latency (lock wait +
-// policy work) is folded into O(1)-memory P^2 quantile sketches under the
-// same lock.
+// and serve fully in parallel. Per-REQUEST service latency and per-batch
+// lock wait are recorded into mergeable log-bucketed histograms
+// (obs/histogram.hpp) under the same lock, so the coordinator can fold
+// shard sketches into exact (bucket-resolution) global tail quantiles at
+// snapshot time.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +20,7 @@
 #include "core/cost_meter.hpp"
 #include "core/instance.hpp"
 #include "core/policy.hpp"
-#include "util/stats.hpp"
+#include "obs/histogram.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace bac::server {
@@ -38,7 +40,14 @@ struct ShardSnapshot {
   long long fetched_pages = 0;
   int cached_pages = 0;
   int capacity = 0;
-  double lat_p50_us = 0;  ///< P^2 estimate; 0 before any request
+  /// Per-request service latency (lock wait + policy work), one sample
+  /// per request — so p99/p999 describe requests, not batch means.
+  obs::Histogram latency_us;
+  /// Mutex acquisition wait per get_batch call (contention signal).
+  obs::Histogram lock_wait_us;
+  /// Derived from latency_us (bucket-midpoint estimates; max is exact);
+  /// kept as flat fields for JSON emitters. 0 before any request.
+  double lat_p50_us = 0;
   double lat_p99_us = 0;
   double lat_mean_us = 0;
   double lat_max_us = 0;
@@ -70,10 +79,10 @@ class CacheShard {
   /// acquisition; returns the hit count. Costs, counters, and audits are
   /// identical to n get() calls — each request is its own metered time
   /// step — so replays stay bit-identical to the unbatched path. Latency
-  /// accounting coarsens: the batch records a single sample of its mean
-  /// per-request service time (clock reads drop from 2/request to
-  /// 2/batch), so the quantile sketches describe batch means, and
-  /// lat_max_us is the worst batch mean rather than the worst request.
+  /// is recorded per REQUEST (one clock read each, ~20ns): the first
+  /// request's sample includes the lock wait — under closed-loop load the
+  /// queueing delay at a hot shard is part of the service time a client
+  /// observes — and the wait itself also lands in lock_wait_us.
   long long get_batch(const PageId* ps, int n);
 
   [[nodiscard]] ShardSnapshot snapshot() const;
@@ -93,9 +102,8 @@ class CacheShard {
   Time t_ GUARDED_BY(mutex_) = 0;
   long long hits_ GUARDED_BY(mutex_) = 0;
   long long misses_ GUARDED_BY(mutex_) = 0;
-  P2Quantile lat_p50_ GUARDED_BY(mutex_){0.50};
-  P2Quantile lat_p99_ GUARDED_BY(mutex_){0.99};
-  StreamingStats lat_us_ GUARDED_BY(mutex_);
+  obs::Histogram latency_us_ GUARDED_BY(mutex_);
+  obs::Histogram lock_wait_us_ GUARDED_BY(mutex_);
 };
 
 }  // namespace bac::server

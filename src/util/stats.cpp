@@ -115,7 +115,9 @@ void P2Quantile::add(double x) noexcept {
 }
 
 double P2Quantile::value() const noexcept {
-  if (count_ == 0) return 0.0;
+  // NaN before any observation, matching StreamingStats::min/max — a 0.0
+  // would read as a real estimate (e.g. a fake 0-latency p99).
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   if (count_ < 5) {
     double tmp[5];
     std::copy(heights_, heights_ + count_, tmp);

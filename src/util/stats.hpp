@@ -51,7 +51,8 @@ class P2Quantile {
   explicit P2Quantile(double q);
 
   void add(double x) noexcept;
-  /// Current estimate (exact for < 5 observations; 0 before any).
+  /// Current estimate (exact for < 5 observations; NaN before any, the
+  /// StreamingStats::min/max convention — JSON emitters turn it null).
   [[nodiscard]] double value() const noexcept;
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
 

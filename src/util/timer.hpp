@@ -1,4 +1,9 @@
-// Minimal steady-clock stopwatch for coarse phase timing in benches.
+// Minimal steady-clock stopwatch: the ONE sanctioned way to read a
+// monotonic clock in src/ (the baclint `raw-chrono-timing` rule forbids
+// direct std::chrono::*_clock::now() calls everywhere else, so timing
+// stays greppable and mockable at a single call site). Used for coarse
+// phase timing in benches and for the obs layer's spans and per-request
+// latency samples.
 #pragma once
 
 #include <chrono>
@@ -13,6 +18,7 @@ class Stopwatch {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
 
  private:
   using clock = std::chrono::steady_clock;

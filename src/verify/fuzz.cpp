@@ -85,9 +85,19 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
   GenOptions gen = config.gen;
   gen.tiny = gen.tiny || config.smoke;
 
+  obs::Span campaign(config.trace, "fuzz");
   for (int i = 0; i < config.seeds; ++i) {
     if (static_cast<int>(report.failures.size()) >= config.max_failures)
       break;
+    if (config.trace && i > 0 && i % 100 == 0) {
+      obs::TraceEvent e;
+      e.type = "progress";
+      e.name = "fuzz";
+      e.num("seeds_run", report.seeds_run)
+          .num("family_checks", static_cast<double>(report.family_checks))
+          .num("violations", static_cast<double>(report.failures.size()));
+      config.trace->emit(e);
+    }
     const std::uint64_t seed = config.base_seed + static_cast<std::uint64_t>(i);
     const GeneratedInstance gi = random_instance(seed, gen);
     ++report.seeds_run;
@@ -124,11 +134,33 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
 
       if (!config.artifact_dir.empty())
         write_artifacts(failure, config.artifact_dir, config.smoke);
+      if (config.trace) {
+        obs::TraceEvent e;
+        e.type = "violation";
+        e.name = family;
+        e.num("seed", static_cast<double>(seed))
+            .num("shrink_rounds", failure.shrink_rounds)
+            .str("detail", failure.detail);
+        config.trace->emit(e);
+      }
       report.failures.push_back(std::move(failure));
       if (static_cast<int>(report.failures.size()) >= config.max_failures)
         break;
     }
   }
+
+  if (config.metrics) {
+    config.metrics->counter("fuzz_seeds_total")
+        .inc(static_cast<std::uint64_t>(report.seeds_run));
+    config.metrics->counter("fuzz_family_checks_total")
+        .inc(static_cast<std::uint64_t>(report.family_checks));
+    config.metrics->counter("fuzz_violations_total")
+        .inc(report.failures.size());
+  }
+  campaign.num("seeds_run", report.seeds_run);
+  campaign.num("family_checks", static_cast<double>(report.family_checks));
+  campaign.num("violations", static_cast<double>(report.failures.size()));
+  campaign.end();
   return report;
 }
 

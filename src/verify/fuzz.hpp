@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "verify/oracles.hpp"
 
 namespace bac::verify {
@@ -31,6 +33,12 @@ struct FuzzConfig {
   int max_failures = 1;               ///< stop fuzzing after this many
   OracleOptions oracle;               ///< caps + optional policy injection
   GenOptions gen;                     ///< instance size envelope
+  /// Optional observability hooks (nullptr = disabled): a campaign span
+  /// with progress events every 100 seeds and one `violation` event per
+  /// failure, plus fuzz_seeds_total / fuzz_family_checks_total /
+  /// fuzz_violations_total counters.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceWriter* trace = nullptr;
 };
 
 struct FuzzFailure {

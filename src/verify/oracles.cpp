@@ -11,6 +11,7 @@
 #include "algs/zoo.hpp"
 #include "core/schedule.hpp"
 #include "core/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "server/concurrent_cache.hpp"
 #include "server/dispatch.hpp"
 #include "verify/reference_policies.hpp"
@@ -434,6 +435,31 @@ std::vector<Violation> check_concurrency(const GeneratedInstance& gi,
                policy->name() + ": 1-thread cost " + fmt(a.total_cost()) +
                    " != " + std::to_string(options.threads) +
                    "-thread cost " + fmt(b.total_cost()));
+      // The bacobs determinism contract: every exported event counter —
+      // not just the stats fields above — must be bit-identical across
+      // thread counts. snapshot() is name-sorted, so a pairwise walk
+      // compares the full counter sections.
+      obs::MetricRegistry reg_one, reg_many;
+      one.export_metrics(reg_one);
+      many.export_metrics(reg_many);
+      const obs::MetricsSnapshot snap_one = reg_one.snapshot();
+      const obs::MetricsSnapshot snap_many = reg_many.snapshot();
+      if (snap_one.counters != snap_many.counters) {
+        std::string diff = "exported counter sets differ";
+        for (std::size_t c = 0;
+             c < snap_one.counters.size() && c < snap_many.counters.size();
+             ++c)
+          if (snap_one.counters[c] != snap_many.counters[c]) {
+            diff = snap_one.counters[c].first + ": 1-thread " +
+                   std::to_string(snap_one.counters[c].second) + " != " +
+                   std::to_string(options.threads) + "-thread " +
+                   std::to_string(snap_many.counters[c].second);
+            break;
+          }
+        report(out, "concurrency",
+               policy->name() + ": metrics counters not thread-count "
+               "invariant (" + diff + ")");
+      }
     } catch (const std::exception& e) {
       report(out, "concurrency",
              "policy " + policy->name() + " failed: " + e.what());

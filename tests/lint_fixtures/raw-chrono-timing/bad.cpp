@@ -1,0 +1,9 @@
+// Positive fixture: a direct steady_clock::now() read outside
+// util/timer.hpp must be flagged (raw-chrono-timing).
+#include <chrono>
+
+double elapsed_ms() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}

@@ -1,0 +1,10 @@
+// Negative fixture: the sanctioned Stopwatch (and obs spans built on it)
+// keep all clock reads behind one audited seam.
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
+double timed_ms(bac::obs::TraceWriter* trace) {
+  bac::obs::Span span(trace, "work");
+  const bac::Stopwatch clock;
+  return clock.millis();
+}

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "algs/classical/classical.hpp"
 #include "core/mrc.hpp"
@@ -208,10 +209,15 @@ TEST(StreamingSimulate, SketchTracksStepCosts) {
     exact_max = std::max(exact_max, total);
   }
   EXPECT_DOUBLE_EQ(r.step_cost_max, exact_max);
-  // P^2 is approximate; the scan workload's step costs are near-constant,
-  // so estimates must land close to the exact quantiles.
+  // Quantiles are log-bucket midpoints (obs::Histogram, <= ~3% relative
+  // error); the scan workload's step costs are near-constant, so the
+  // estimates must land close to the exact quantiles.
   EXPECT_NEAR(r.step_cost_p50, quantile(step_totals, 0.50), 0.5);
   EXPECT_NEAR(r.step_cost_p99, quantile(step_totals, 0.99), 0.5);
+  // The full distribution rides along: total mass and exact max agree.
+  EXPECT_EQ(r.step_cost_hist.count(),
+            static_cast<std::uint64_t>(step_totals.size()));
+  EXPECT_DOUBLE_EQ(r.step_cost_hist.max(), exact_max);
 }
 
 TEST(MissRatioCurve, MatchesOfflineStackDistances) {
@@ -288,7 +294,9 @@ TEST(P2Quantile, TracksExactQuantilesOnRandomData) {
 
 TEST(P2Quantile, ExactForSmallSamples) {
   P2Quantile q(0.5);
-  EXPECT_EQ(q.value(), 0.0);
+  // No observations yet: NaN, the StreamingStats::min/max convention
+  // (JSON emitters turn it into null) — not a fake 0.0.
+  EXPECT_TRUE(std::isnan(q.value()));
   q.add(3.0);
   EXPECT_DOUBLE_EQ(q.value(), 3.0);
   q.add(1.0);

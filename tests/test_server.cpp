@@ -15,6 +15,7 @@
 #include "core/simulator.hpp"
 #include "server/concurrent_cache.hpp"
 #include "server/dispatch.hpp"
+#include "util/timer.hpp"
 
 namespace bac {
 namespace {
@@ -216,6 +217,64 @@ TEST(ConcurrentCache, LatencySketchesPopulate) {
   EXPECT_GE(stats.lat_p99_us, 0.0);
   EXPECT_GE(stats.lat_p50_us, 0.0);
   EXPECT_GE(stats.lat_max_us, stats.lat_mean_us);
+  // One latency sample per REQUEST, preserved by the shard merge; the
+  // lock-wait histogram records one sample per get_batch call.
+  EXPECT_EQ(stats.latency_us.count(),
+            static_cast<std::uint64_t>(stats.requests));
+  EXPECT_GE(stats.lock_wait_us.count(), 1u);
+}
+
+/// LRU-less minimal policy that busy-waits ~500us on exactly one request
+/// (by arrival order) — a synthetic straggler for the latency tests.
+class OneSlowRequestPolicy final : public OnlinePolicy {
+ public:
+  explicit OneSlowRequestPolicy(int slow_index) : slow_(slow_index) {}
+  [[nodiscard]] std::string name() const override { return "OneSlow"; }
+  void reset(const Instance&) override {}
+  void on_request(Time, PageId p, CacheOps& cache) override {
+    if (++calls_ == slow_) {
+      const Stopwatch spin;
+      while (spin.micros() < 500.0) {
+      }
+    }
+    cache.fetch(p);
+    while (cache.size() > cache.capacity()) {
+      for (PageId q : cache.pages()) {
+        if (q != p) {
+          cache.evict(q);
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  int slow_;
+  int calls_ = 0;
+};
+
+// The per-request recording pin: one ~500us straggler inside a 512-wide
+// batch must surface in the tail of the latency histogram. The old
+// batch-mean recording (one sample = batch total / n) diluted even the
+// max 512-fold (~1us), so these bounds fail against it.
+TEST(CacheShard, OneSlowRequestInABatchMovesTheTail) {
+  auto src = SyntheticSource::zipf(64, 4, 16, 512, 0.9, 5);
+  const std::vector<PageId> requests = materialize(*src);
+  const Instance header{src->context().blocks, {}, src->context().k};
+  CacheShard shard(header, std::make_unique<OneSlowRequestPolicy>(300), 1);
+  shard.get_batch(requests.data(), static_cast<int>(requests.size()));
+
+  const ShardSnapshot snap = shard.snapshot();
+  EXPECT_EQ(snap.requests, 512);
+  EXPECT_EQ(snap.latency_us.count(), 512u);
+  // Rank 511 of 512 is the straggler itself: p999 and max must both see
+  // it (max is exact; the quantile is a log-bucket midpoint, <= ~3% off).
+  EXPECT_GE(snap.latency_us.max(), 400.0);
+  EXPECT_GE(snap.latency_us.quantile(0.999), 300.0);
+  EXPECT_GE(snap.lat_max_us, 400.0);
+  // The bulk of the batch stays fast: the straggler must not drag the
+  // median (it would under any form of batch averaging).
+  EXPECT_LT(snap.latency_us.quantile(0.5), 250.0);
 }
 
 TEST(ConcurrentCache, EmptyCacheReportsZeroedStats) {

@@ -37,6 +37,7 @@ void usage(const char* argv0) {
       "usage: %s [--seeds <n>] [--seed <base>] [--smoke]\n"
       "          [--families <f1,f2,..>] [--artifacts <dir>]\n"
       "          [--max-failures <n>] [--threads <n>] [--json [path]]\n"
+      "          [--metrics <out.json|out.prom>] [--trace <out.jsonl>]\n"
       "          [--replay <repro.bact>] [--golden <dir>] [--list-families]\n"
       "\n"
       "  --seeds         fuzz seeds to run (default 100)\n"
@@ -44,6 +45,9 @@ void usage(const char* argv0) {
       "  --families      oracle families (default: all; see "
       "--list-families)\n"
       "  --artifacts     write shrunken repro .bact+.json on failure\n"
+      "  --metrics       write campaign counters at exit (obs JSON, or\n"
+      "                  Prometheus text when the path ends in .prom)\n"
+      "  --trace         stream campaign/progress/violation JSONL events\n"
       "  --replay        re-check a saved repro instead of fuzzing\n"
       "  --golden        write the pinned golden corpus and exit\n",
       argv0);
@@ -100,8 +104,10 @@ int run(int argc, char** argv) {
   std::string replay_path, golden_dir, json_path;
   bool json = false;
   int threads = 4;
+  bac::cli::ObsFlags obs;
 
   for (int i = 1; i < argc; ++i) {
+    if (obs.handle(argc, argv, i)) continue;
     const std::string arg = argv[i];
     auto value = [&](const char* flag) {
       return bac::cli::flag_value(argc, argv, i, flag);
@@ -183,6 +189,9 @@ int run(int argc, char** argv) {
     return 1;
   }
 
+  config.metrics = &obs.registry();
+  config.trace = obs.trace();
+
   bac::Stopwatch clock;
   const bac::verify::FuzzReport report = bac::verify::run_fuzz(config);
   const double wall_ms = clock.millis();
@@ -209,6 +218,8 @@ int run(int argc, char** argv) {
     if (rc != 0) return rc;
     std::printf("[json: %s]\n", json_path.c_str());
   }
+  obs.registry().gauge("fuzz_wall_ms").set(wall_ms);
+  if (!obs.write_metrics(argv[0], "bacfuzz")) return 1;
   return report.failures.empty() ? 0 : 1;
 }
 

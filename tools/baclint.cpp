@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "lint/lint.hpp"
 
 namespace {
@@ -24,8 +25,10 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --check <path> [--check <path> ...] "
                "[--json <report.json>] [--rule <name> ...] [--verbose]\n"
+               "       %s [--metrics <out.json|out.prom>] "
+               "[--trace <out.jsonl>]\n"
                "       %s --list-rules\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -38,8 +41,10 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool verbose = false;
   bool list_rules = false;
+  bac::cli::ObsFlags obs;
 
   for (int i = 1; i < argc; ++i) {
+    if (obs.handle(argc, argv, i)) continue;
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -97,11 +102,15 @@ int main(int argc, char** argv) {
     std::vector<Finding> findings;
     long long files_scanned = 0;
     for (const std::string& root : roots) {
+      bac::obs::Span root_span(obs.trace(), "lint/" + root);
+      long long root_files = 0;
       for (const std::string& file : list_source_files(root)) {
         ++files_scanned;
+        ++root_files;
         auto fs = lint_file(file, rules, default_allowlist());
         findings.insert(findings.end(), fs.begin(), fs.end());
       }
+      root_span.num("files", static_cast<double>(root_files));
     }
 
     int violations = 0;
@@ -134,6 +143,13 @@ int main(int argc, char** argv) {
         "%zu allowed)\n",
         files_scanned, rules.size(), findings.size(), violations,
         findings.size() - static_cast<std::size_t>(violations));
+    auto& registry = obs.registry();
+    registry.counter("lint_files_scanned_total")
+        .inc(static_cast<std::uint64_t>(files_scanned));
+    registry.counter("lint_findings_total").inc(findings.size());
+    registry.counter("lint_violations_total")
+        .inc(static_cast<std::uint64_t>(violations));
+    if (!obs.write_metrics(argv[0], "baclint")) return 2;
     return violations == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "baclint: %s\n", e.what());

@@ -46,6 +46,7 @@ void usage(const char* argv0) {
       "          [--shards <n|0=auto>] [--threads <t1,t2,..>] [--seed <u64>]\n"
       "          [--dispatch shard|chunk] [--check-equivalence]\n"
       "          [--csv-block-pages <n>] [--json [path]] [--quiet]\n"
+      "          [--metrics <out.json|out.prom>] [--trace <out.jsonl>]\n"
       "\n"
       "  --policy     policy registry name (bacsim --list-policies)\n"
       "  --workload   zipf[a] | uniform | scan | blocklocal | phased,\n"
@@ -56,7 +57,10 @@ void usage(const char* argv0) {
       "  --threads    client thread counts to run (default 1,8)\n"
       "  --dispatch   shard (deterministic, default) | chunk (contended)\n"
       "  --check-equivalence   require bit-identical cost across runs\n"
-      "  --json       write one bench-schema record per thread count\n",
+      "  --json       write one bench-schema record per thread count\n"
+      "  --metrics    server_* event counters + latency/lock-wait\n"
+      "               histograms, summed over the runs (obs JSON or .prom)\n"
+      "  --trace      one load span per thread-count run (JSONL)\n",
       argv0);
 }
 
@@ -120,8 +124,10 @@ void write_json(const std::string& path, const bac::driver::SweepConfig& cfg,
         {"rps", r.rps},
         {"lat_p50_us", r.stats.lat_p50_us},
         {"lat_p99_us", r.stats.lat_p99_us},
+        {"lat_p999_us", r.stats.latency_us.quantile(0.999)},
         {"lat_mean_us", r.stats.lat_mean_us},
         {"lat_max_us", r.stats.lat_max_us},
+        {"lock_wait_p99_us", r.stats.lock_wait_us.quantile(0.99)},
     };
     for (const auto& [key, value] : extras) {
       os << ", \"" << key << "\": ";
@@ -152,8 +158,10 @@ int run(int argc, char** argv) {
   bool check_equivalence = false;
   bool json = false, quiet = false;
   std::string json_path = "load.json";
+  bac::cli::ObsFlags obs;
 
   for (int i = 1; i < argc; ++i) {
+    if (obs.handle(argc, argv, i)) continue;
     const std::string arg = argv[i];
     auto value = [&](const char* flag) {
       return bac::cli::flag_value(argc, argv, i, flag);
@@ -246,6 +254,7 @@ int run(int argc, char** argv) {
   for (const int n_threads : thread_counts) {
     // A fresh cache per run: every run starts cold from the same state.
     ConcurrentCache cache(ctx, *prototype, shards, config.seed);
+    bac::obs::Span span(obs.trace(), "load/t" + std::to_string(n_threads));
     const double seconds =
         dispatch == "shard"
             ? bac::server::serve_partitioned(cache, requests, n_threads)
@@ -253,6 +262,14 @@ int run(int argc, char** argv) {
     RunRecord r;
     r.threads = n_threads;
     r.stats = cache.stats();
+    // server_* event counters are identical for every shard-partitioned
+    // run, so the exported sums stay thread-count invariant per run (the
+    // CI metrics-smoke job diffs single-run counter sections).
+    cache.export_metrics(obs.registry());
+    span.num("threads", n_threads);
+    span.num("requests", static_cast<double>(r.stats.requests));
+    span.num("misses", static_cast<double>(r.stats.misses));
+    span.num("cost", r.stats.total_cost());
     r.wall_ms = seconds * 1000.0;
     r.rps = seconds > 0 ? static_cast<double>(r.stats.requests) / seconds : 0;
     if (runs.empty()) base_rps = r.rps;
@@ -277,6 +294,7 @@ int run(int argc, char** argv) {
                ctx, shards, dispatch, runs, costs_equal);
     std::printf("[json: %s]\n", json_path.c_str());
   }
+  if (!obs.write_metrics(argv[0], "bacload")) return 1;
 
   if (check_equivalence) {
     if (!costs_equal) {

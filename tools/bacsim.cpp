@@ -47,6 +47,7 @@ void usage(const char* argv0) {
       "          [--n <pages>] [--beta <block size>] [--T <requests>]\n"
       "          [--seed <u64>] [--trials <n>] [--threads <n>] [--mrc]\n"
       "          [--csv-block-pages <n>] [--json [path]] [--quiet]\n"
+      "          [--metrics <out.json|out.prom>] [--trace <out.jsonl>]\n"
       "          [--list-policies]\n"
       "\n"
       "  --policies   policy registry names (see --list-policies)\n"
@@ -56,7 +57,10 @@ void usage(const char* argv0) {
       "  --n/--beta/--T   synthetic workload shape (default 4096/8/200000)\n"
       "  --trials     Monte-Carlo trials for randomized policies (default 5)\n"
       "  --mrc        attach the LRU miss-ratio curve at the swept k values\n"
-      "  --json       stream one record per grid cell (default sweep.json)\n",
+      "  --json       stream one record per grid cell (default sweep.json)\n"
+      "  --metrics    write event counters + histograms at exit (obs JSON,\n"
+      "               or Prometheus text when the path ends in .prom)\n"
+      "  --trace      stream sweep/cell JSONL events as cells complete\n",
       argv0);
 }
 
@@ -151,8 +155,10 @@ int run(int argc, char** argv) {
   int threads = 0;
   bool json = false, quiet = false;
   std::string json_path = "sweep.json";
+  bac::cli::ObsFlags obs;
 
   for (int i = 1; i < argc; ++i) {
+    if (obs.handle(argc, argv, i)) continue;
     const std::string arg = argv[i];
     auto value = [&](const char* flag) {
       return bac::cli::flag_value(argc, argv, i, flag);
@@ -222,6 +228,9 @@ int run(int argc, char** argv) {
     stream = std::make_unique<JsonStream>(json_path, config,
                                           resolved_threads);
 
+  config.metrics = &obs.registry();
+  config.trace = obs.trace();
+
   std::mutex print_mutex;
   if (!quiet)
     std::printf("%-22s %-14s %6s %12s %12s %10s %12s\n", "policy", "workload",
@@ -242,6 +251,8 @@ int run(int argc, char** argv) {
     stream->close(totals, rss);
     std::printf("[json: %s]\n", json_path.c_str());
   }
+  obs.registry().gauge("max_rss_mb").set(rss);
+  if (!obs.write_metrics(argv[0], "bacsim")) return 1;
   std::printf(
       "%lld cells, %lld requests in %.1f ms  (%.0f requests/sec, peak rss "
       "%.1f MB)\n",

@@ -1,13 +1,20 @@
-// Flag-parsing plumbing shared by the tools/ binaries (bacsim, bacload):
-// comma-list splitting and validated integer flag values. Kept header-only
+// Flag-parsing plumbing shared by the tools/ binaries (bacsim, bacload,
+// bacfuzz, baclint): comma-list splitting, validated integer flag values,
+// and the common --metrics/--trace observability flags. Kept header-only
 // and tool-local — the library proper has no CLI surface.
 #pragma once
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bac::cli {
 
@@ -71,5 +78,57 @@ inline std::vector<int> split_positive_ints(const char* argv0,
   }
   return out;
 }
+
+/// The shared observability surface: every tool accepts
+///   --metrics <out.json|out.prom>   registry snapshot at exit
+///   --trace <out.jsonl>             structured span/phase/progress events
+/// Call handle() inside the flag loop, then trace()/registry() for the
+/// hooks to thread through the layers, and write_metrics() once the run
+/// is done. All hooks are null/no-op when the flags are absent.
+class ObsFlags {
+ public:
+  /// True when argv[i] was --metrics/--trace (consumes the value).
+  bool handle(int argc, char** argv, int& i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path_ = flag_value(argc, argv, i, "--metrics");
+      return true;
+    }
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      const char* path = flag_value(argc, argv, i, "--trace");
+      try {
+        trace_ = std::make_unique<obs::TraceWriter>(path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        std::exit(2);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// nullptr when --trace was not given (the disabled fast path).
+  [[nodiscard]] obs::TraceWriter* trace() const { return trace_.get(); }
+  /// Always usable; only exported when --metrics was given.
+  [[nodiscard]] obs::MetricRegistry& registry() { return registry_; }
+
+  /// Snapshot the registry to --metrics (JSON, or Prometheus text for a
+  /// .prom extension); no-op when the flag is absent. Returns false (and
+  /// prints to stderr) when the file cannot be written.
+  bool write_metrics(const char* argv0, const std::string& tool) {
+    if (metrics_path_.empty()) return true;
+    try {
+      obs::write_metrics_file(metrics_path_, registry_.snapshot(), tool);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv0, e.what());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string metrics_path_;
+  std::unique_ptr<obs::TraceWriter> trace_;
+  obs::MetricRegistry registry_;
+};
 
 }  // namespace bac::cli
