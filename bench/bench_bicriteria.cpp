@@ -13,7 +13,7 @@
 #include <algorithm>
 
 #include "algs/bicriteria.hpp"
-#include "algs/classical/fractional_paging.hpp"
+#include "algs/policies/fractional_paging.hpp"
 #include "algs/opt.hpp"
 #include "lp/naive_lp.hpp"
 

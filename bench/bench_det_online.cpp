@@ -7,7 +7,7 @@
 //      the "beat the trivial beta blow-up" claim of Section 1.1.
 #include "bench_common.hpp"
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/det_online.hpp"
 #include "algs/opt.hpp"
 #include "core/simulator.hpp"

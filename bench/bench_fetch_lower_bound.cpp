@@ -11,7 +11,7 @@
 // (rounding a fractional/randomized policy) is exercised in EXP-7.
 #include "bench_common.hpp"
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/det_online.hpp"
 #include "algs/opt.hpp"
 #include "core/simulator.hpp"

@@ -7,7 +7,8 @@
 // trajectory's machine-readable trail.
 #include "bench_common.hpp"
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
+#include "algs/policies/modern.hpp"
 #include "algs/det_online.hpp"
 #include "algs/fractional.hpp"
 #include "algs/opt.hpp"
@@ -122,7 +123,12 @@ void simulator_throughput() {
   simulate_case<LfuPolicy>(table, "simulate/LFU", 1024, kLong);
   simulate_case<GreedyDualPolicy>(table, "simulate/GreedyDual", 1024, kLong);
   simulate_case<BeladyPolicy>(table, "simulate/Belady", 1024, kLong);
+  simulate_case<S3FifoPolicy>(table, "simulate/S3FIFO", 1024, kLong);
+  simulate_case<SievePolicy>(table, "simulate/SIEVE", 1024, kLong);
+  simulate_case<ArcPolicy>(table, "simulate/ARC", 1024, kLong);
   simulate_case<BlockLruNoPrefetch>(table, "simulate/BlockLRU", 256, kLong);
+  simulate_case<BlockS3FifoPolicy>(table, "simulate/BlockS3FIFO", 256, kLong);
+  simulate_case<BlockSievePolicy>(table, "simulate/BlockSIEVE", 256, kLong);
   simulate_case<DetOnlineBlockAware>(table, "simulate/BA-Det", 256, 20'000);
   simulate_case<DetOnlineBlockAware>(table, "simulate/BA-Det", 1024, 20'000);
   simulate_case<RandomizedBlockAware>(table, "simulate/BA-Rand", 256, 2'000);

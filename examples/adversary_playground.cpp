@@ -11,7 +11,7 @@
 #include <memory>
 #include <string>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/det_online.hpp"
 #include "algs/opt.hpp"
 #include "core/simulator.hpp"

@@ -15,7 +15,7 @@
 #include <filesystem>
 #include <fstream>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "core/request_source.hpp"
 #include "core/simulator.hpp"
 #include "trace/bact.hpp"

@@ -13,7 +13,7 @@
 #include <iostream>
 #include <string>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/det_online.hpp"
 #include "algs/rounding.hpp"
 #include "core/simulator.hpp"

@@ -1,4 +1,4 @@
-#include "algs/classical/fractional_paging.hpp"
+#include "algs/policies/fractional_paging.hpp"
 
 #include <algorithm>
 #include <cmath>

@@ -1,4 +1,4 @@
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 
 namespace bac {
 

@@ -18,7 +18,7 @@
 #include <optional>
 #include <vector>
 
-#include "algs/classical/fractional_paging.hpp"
+#include "algs/policies/fractional_paging.hpp"
 #include "core/policy.hpp"
 
 namespace bac {

@@ -24,8 +24,12 @@ std::vector<std::unique_ptr<OnlinePolicy>> make_policy_zoo(
 /// the display names policies report via name()).
 std::vector<std::string> policy_names();
 
-/// Construct a policy by registry name; throws std::invalid_argument for
-/// unknown names (the message lists the registry).
-std::unique_ptr<OnlinePolicy> make_policy(const std::string& name);
+/// Construct a policy from a spec: a registry name, optionally followed
+/// by `@<value>` to set the policy's knob (e.g. "s3fifo", "s3fifo@0.05" —
+/// the small-queue fraction). Throws std::invalid_argument for unknown
+/// names (the message shows the grammar, the registry, and a nearest-name
+/// suggestion), for a knob on a knobless policy, and for malformed or
+/// out-of-range knob values.
+std::unique_ptr<OnlinePolicy> make_policy(const std::string& spec);
 
 }  // namespace bac

@@ -62,6 +62,18 @@ class IntrusiveOrderList {
   [[nodiscard]] int size() const noexcept { return size_; }
   /// Oldest id, or kNone when empty.
   [[nodiscard]] std::int32_t front() const noexcept { return head_; }
+  /// Newest id, or kNone when empty.
+  [[nodiscard]] std::int32_t back() const noexcept { return tail_; }
+  /// The id one step newer than `id` (kNone at the newest end).
+  /// Precondition: contains(id). This is what a clock hand walks.
+  [[nodiscard]] std::int32_t next(std::int32_t id) const noexcept {
+    return next_[static_cast<std::size_t>(id)];
+  }
+  /// The id one step older than `id` (kNone at the oldest end).
+  /// Precondition: contains(id).
+  [[nodiscard]] std::int32_t prev(std::int32_t id) const noexcept {
+    return prev_[static_cast<std::size_t>(id)];
+  }
   /// Ids the list was reset() for (capacity of the id space, not size()).
   [[nodiscard]] int id_limit() const noexcept {
     return static_cast<int>(prev_.size());
@@ -287,6 +299,193 @@ class LazyMinHeap {
   std::vector<std::uint32_t> epoch_;  ///< per id: current stamp
   std::vector<char> in_;              ///< per id: has a valid entry
   int live_ = 0;
+};
+
+/// Several bounded FIFO queues threaded through one shared set of
+/// prev/next/segment arrays over dense ids [0, n). Supports O(1)
+/// push_back, pop_front, erase, and promote/demote between segments
+/// (move_back), with no allocation after reset() — the backbone of
+/// segmented policies like S3-FIFO (small/main) and ARC (T1/T2).
+/// Membership is exclusive: an id lives in at most one segment.
+class SegmentedFifo {
+ public:
+  static constexpr std::int32_t kNone = -1;
+
+  /// Size for ids [0, n) with `segments` queues, dropping all links.
+  /// Storage is reused: after the first reset at a given (n, segments),
+  /// subsequent resets allocate nothing.
+  void reset(int n, int segments) {
+    prev_.assign(static_cast<std::size_t>(n), kNone);
+    next_.assign(static_cast<std::size_t>(n), kNone);
+    seg_.assign(static_cast<std::size_t>(n), kNoSegment);
+    head_.assign(static_cast<std::size_t>(segments), kNone);
+    tail_.assign(static_cast<std::size_t>(segments), kNone);
+    size_.assign(static_cast<std::size_t>(segments), 0);
+  }
+
+  [[nodiscard]] bool contains(std::int32_t id) const noexcept {
+    return seg_[static_cast<std::size_t>(id)] != kNoSegment;
+  }
+  /// Segment holding id, or kNone when absent.
+  [[nodiscard]] int segment_of(std::int32_t id) const noexcept {
+    const std::int32_t s = seg_[static_cast<std::size_t>(id)];
+    return s == kNoSegment ? kNone : s;
+  }
+  [[nodiscard]] int size(int segment) const noexcept {
+    return size_[static_cast<std::size_t>(segment)];
+  }
+  [[nodiscard]] int total_size() const noexcept {
+    int total = 0;
+    for (const int s : size_) total += s;
+    return total;
+  }
+  /// Oldest id in `segment`, or kNone when that queue is empty.
+  [[nodiscard]] std::int32_t front(int segment) const noexcept {
+    return head_[static_cast<std::size_t>(segment)];
+  }
+
+  /// Append id at the tail (newest end) of `segment`.
+  /// Precondition: !contains(id).
+  void push_back(int segment, std::int32_t id) {
+    const auto i = static_cast<std::size_t>(id);
+    const auto s = static_cast<std::size_t>(segment);
+    prev_[i] = tail_[s];
+    next_[i] = kNone;
+    seg_[i] = segment;
+    if (tail_[s] != kNone) next_[static_cast<std::size_t>(tail_[s])] = id;
+    tail_[s] = id;
+    if (head_[s] == kNone) head_[s] = id;
+    ++size_[s];
+  }
+
+  /// Unlink id from whichever segment holds it. Precondition: contains(id).
+  void erase(std::int32_t id) {
+    const auto i = static_cast<std::size_t>(id);
+    const auto s = static_cast<std::size_t>(seg_[i]);
+    const std::int32_t p = prev_[i];
+    const std::int32_t n = next_[i];
+    if (p != kNone) next_[static_cast<std::size_t>(p)] = n;
+    else head_[s] = n;
+    if (n != kNone) prev_[static_cast<std::size_t>(n)] = p;
+    else tail_[s] = p;
+    prev_[i] = next_[i] = kNone;
+    seg_[i] = kNoSegment;
+    --size_[s];
+  }
+
+  /// Remove and return the oldest id of `segment` (kNone when empty).
+  std::int32_t pop_front(int segment) {
+    const std::int32_t id = head_[static_cast<std::size_t>(segment)];
+    if (id != kNone) erase(id);
+    return id;
+  }
+
+  /// Move id to the tail of `to_segment` — the O(1) promote/demote (a
+  /// same-segment move is the FIFO "reinsert"). Precondition: contains(id).
+  void move_back(std::int32_t id, int to_segment) {
+    erase(id);
+    push_back(to_segment, id);
+  }
+
+ private:
+  static constexpr std::int32_t kNoSegment = -1;
+  std::vector<std::int32_t> prev_;  ///< within the id's segment queue
+  std::vector<std::int32_t> next_;
+  std::vector<std::int32_t> seg_;   ///< kNoSegment when absent
+  std::vector<std::int32_t> head_;  ///< per segment: oldest id
+  std::vector<std::int32_t> tail_;  ///< per segment: newest id
+  std::vector<int> size_;
+};
+
+/// Fixed-capacity recency ghost list over dense ids [0, n): remembers the
+/// most recent `capacity` inserted ids in insertion order, silently
+/// dropping the oldest when full. Entries are stamped with a monotone
+/// insertion epoch (introspection: "how long ago was this evicted").
+/// No allocation per request — everything lives in arrays sized at
+/// reset(), and the intrusive recency list makes every operation O(1).
+class GhostTable {
+ public:
+  static constexpr std::int32_t kNone = -1;
+
+  /// Size for ids [0, n) with room for `capacity` ghosts, dropping all
+  /// entries and restarting the stamp clock. Storage is reused across
+  /// resets at the same n.
+  void reset(int n, int capacity) {
+    order_.reset(n);
+    stamp_.assign(static_cast<std::size_t>(n), 0);
+    capacity_ = capacity;
+    clock_ = 0;
+  }
+
+  [[nodiscard]] bool contains(std::int32_t id) const noexcept {
+    return order_.contains(id);
+  }
+  [[nodiscard]] int size() const noexcept { return order_.size(); }
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+  /// Oldest remembered ghost, or kNone when empty.
+  [[nodiscard]] std::int32_t front() const noexcept { return order_.front(); }
+  /// Insertion epoch of a currently remembered id (1-based, monotone).
+  /// Precondition: contains(id).
+  [[nodiscard]] std::uint64_t stamp_of(std::int32_t id) const noexcept {
+    return stamp_[static_cast<std::size_t>(id)];
+  }
+
+  /// Remember id as the most recent ghost, re-stamping it if already
+  /// present. Returns the id dropped to make room (kNone if none was).
+  std::int32_t insert(std::int32_t id) {
+    std::int32_t dropped = kNone;
+    if (order_.contains(id)) {
+      order_.erase(id);
+    } else if (capacity_ <= 0) {
+      return dropped;  // degenerate capacity: remember nothing
+    } else if (order_.size() >= capacity_) {
+      dropped = order_.pop_front();
+    }
+    order_.push_back(id);
+    stamp_[static_cast<std::size_t>(id)] = ++clock_;
+    return dropped;
+  }
+
+  /// Forget id (the "ghost hit consumed" transition). No-op when absent.
+  void erase(std::int32_t id) {
+    if (order_.contains(id)) order_.erase(id);
+  }
+
+  /// Drop and return the oldest ghost (kNone when empty).
+  std::int32_t pop_front() { return order_.pop_front(); }
+
+ private:
+  IntrusiveOrderList order_;         ///< front = oldest ghost
+  std::vector<std::uint64_t> stamp_;  ///< per id: last insertion epoch
+  int capacity_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+/// Per-page (or per-block) metadata vector: the freq counters, visited
+/// bits, and membership tags every policy keeps alongside its queues.
+/// reset() assigns in place, so storage is reused across sweep cells,
+/// and the int32 index operator absorbs the static_cast<std::size_t>
+/// noise that otherwise spreads through every policy.
+template <typename T>
+class PageMeta {
+ public:
+  /// Size for ids [0, n), setting every slot to `init`. Reuses storage.
+  void reset(int n, T init = T{}) {
+    slots_.assign(static_cast<std::size_t>(n), init);
+  }
+
+  [[nodiscard]] T& operator[](std::int32_t id) noexcept {
+    return slots_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const T& operator[](std::int32_t id) const noexcept {
+    return slots_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(slots_.size());
+  }
+
+ private:
+  std::vector<T> slots_;
 };
 
 }  // namespace bac

@@ -17,6 +17,10 @@
 #include "core/instance.hpp"
 #include "core/types.hpp"
 
+namespace bac::obs {
+class MetricRegistry;
+}  // namespace bac::obs
+
 namespace bac {
 
 /// Mutating facade over the simulator's cache; all costs flow through here.
@@ -181,6 +185,14 @@ class OnlinePolicy {
   [[nodiscard]] virtual std::unique_ptr<OnlinePolicy> clone() const {
     return nullptr;
   }
+
+  /// Fold the policy's structural counters (ghost hits, hand sweeps, ARC
+  /// target adjustments, block batch-evictions, ...) into a metric
+  /// registry. Counters must count events of the policy's own run only —
+  /// the bacobs determinism contract — so per-shard clones can be summed
+  /// and stay bit-identical across thread counts. Default: exports
+  /// nothing (most classical policies have no structural counters).
+  virtual void export_metrics(obs::MetricRegistry& /*registry*/) const {}
 };
 
 }  // namespace bac

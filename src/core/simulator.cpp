@@ -214,6 +214,10 @@ RunResult simulate(RequestSource& source, OnlinePolicy& policy,
     m.counter("sim_fetched_pages_total")
         .inc(static_cast<std::uint64_t>(result.fetched_pages));
     if (options.record_sketch) m.merge_histogram("sim_step_cost", step_hist);
+    // Policy-side structural counters (ghost hits, hand sweeps, ARC p
+    // adjustments, block flushes) — the "why did this policy win" layer
+    // on top of the cost counters above. No-op for policies without them.
+    policy.export_metrics(m);
   }
   if (options.trace != nullptr) {
     // Boundary counters ride on the phase_end event (with dur_ms).

@@ -3,7 +3,6 @@
 #include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "algs/zoo.hpp"
 #include "core/simulator.hpp"
@@ -96,36 +95,65 @@ std::unique_ptr<RequestSource> make_synthetic(const std::string& spec,
 /// options) pair, then every cell shares the read-only mapping. The key
 /// includes every option that shapes the mapping, so sweeps with
 /// different block inference never reuse a stale structure.
+///
+/// Bounded: a sweep grid reuses at most a handful of distinct trace
+/// files, but a long-lived process sweeping many files used to grow a
+/// static unordered_map forever. The cache now holds the
+/// kCsvMappingCacheCapacity most recently used mappings (LRU, linear
+/// scan — the capacity is single-digit) and evicts the coldest beyond
+/// that; shared_ptr keeps evicted mappings alive for cells still
+/// running on them.
+struct CsvMappingSlot {
+  std::string key;
+  std::shared_ptr<const CsvMapping> mapping;
+  std::uint64_t last_used = 0;
+};
+
+Mutex g_csv_cache_mutex;
+std::vector<CsvMappingSlot> g_csv_cache;
+std::uint64_t g_csv_cache_clock = 0;
+
 std::shared_ptr<const CsvMapping> csv_mapping_for(const std::string& path,
                                                   const SweepConfig& c,
                                                   int k) {
-  static Mutex mutex;
-  static std::unordered_map<std::string, std::shared_ptr<const CsvMapping>>
-      cache;
   const std::string key =
       path + "\x1f" + std::to_string(c.csv_block_pages);
-  MutexLock lock(mutex);
-  // Single lookup for both the hit and the miss path: try_emplace finds
-  // or default-constructs the slot, and a sweep-grid cell that misses
-  // fills the same slot reference instead of re-hashing the key for a
-  // second emplace.
-  auto [it, inserted] = cache.try_emplace(key);
-  if (!inserted) return it->second;
-  try {
-    CsvOptions options;
-    options.block_pages = c.csv_block_pages;
-    options.k = k;
-    it->second = std::make_shared<const CsvMapping>(
-        build_csv_mapping(path, options));
-  } catch (...) {
-    // A failed build must not leave a null mapping behind for the key.
-    cache.erase(it);
-    throw;
+  MutexLock lock(g_csv_cache_mutex);
+  for (CsvMappingSlot& slot : g_csv_cache) {
+    if (slot.key == key) {
+      slot.last_used = ++g_csv_cache_clock;
+      return slot.mapping;
+    }
   }
-  return it->second;
+  CsvOptions options;
+  options.block_pages = c.csv_block_pages;
+  options.k = k;
+  auto mapping =
+      std::make_shared<const CsvMapping>(build_csv_mapping(path, options));
+  if (g_csv_cache.size() >=
+      static_cast<std::size_t>(kCsvMappingCacheCapacity)) {
+    std::size_t coldest = 0;
+    for (std::size_t i = 1; i < g_csv_cache.size(); ++i)
+      if (g_csv_cache[i].last_used < g_csv_cache[coldest].last_used)
+        coldest = i;
+    g_csv_cache.erase(g_csv_cache.begin() +
+                      static_cast<std::ptrdiff_t>(coldest));
+  }
+  g_csv_cache.push_back({key, mapping, ++g_csv_cache_clock});
+  return mapping;
 }
 
 }  // namespace
+
+int csv_mapping_cache_size() {
+  MutexLock lock(g_csv_cache_mutex);
+  return static_cast<int>(g_csv_cache.size());
+}
+
+void csv_mapping_cache_clear() {
+  MutexLock lock(g_csv_cache_mutex);
+  g_csv_cache.clear();
+}
 
 std::unique_ptr<RequestSource> make_workload_source(
     const std::string& spec, const SweepConfig& config, int k) {

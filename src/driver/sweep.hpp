@@ -98,6 +98,18 @@ using RecordSink = std::function<void(const SweepRecord&)>;
 std::unique_ptr<RequestSource> make_workload_source(
     const std::string& spec, const SweepConfig& config, int k);
 
+/// The CSV mapping cache behind make_workload_source holds at most this
+/// many (path, options) mappings, LRU-evicted — bounded so a long-lived
+/// process sweeping many trace files cannot grow it forever.
+inline constexpr int kCsvMappingCacheCapacity = 8;
+
+/// Current number of cached CSV mappings (introspection for tests).
+int csv_mapping_cache_size();
+
+/// Drop every cached CSV mapping (mappings still referenced by running
+/// cells stay alive through their shared_ptr).
+void csv_mapping_cache_clear();
+
 /// Expand and run the grid; throws on the first cell error (unknown
 /// policy/workload, malformed trace, infeasible k < beta, ...).
 SweepTotals run_sweep(const SweepConfig& config, const RecordSink& sink);

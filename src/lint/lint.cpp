@@ -69,7 +69,7 @@ const std::vector<Rule>& rule_table() {
        "banned: node-allocating hash maps are the ROADMAP item 6 "
        "migration target, not something to add more of",
        R"(std::unordered_(?:map|set|multimap|multiset)\b)",
-       {"algs/classical/", "core/", "server/"},
+       {"algs/policies/", "core/", "server/"},
        {"lint/"},
        "use the flat primitives in core/eviction_index.hpp, a plain "
        "vector keyed by dense page id, or keep the map out of the hot "

@@ -185,6 +185,11 @@ void ConcurrentCache::export_metrics(obs::MetricRegistry& registry) const {
       static_cast<double>(s.cached_pages));
   registry.merge_histogram("server_latency_us", s.latency_us);
   registry.merge_histogram("server_lock_wait_us", s.lock_wait_us);
+  // Per-shard policy structural counters (ghost hits, hand sweeps, ...)
+  // fold in as sums over shards: shard assignment is by block, so the
+  // sums inherit the same thread-count invariance as the server_*
+  // counters above.
+  for (const auto& shard : shards_) shard->export_policy_metrics(registry);
 }
 
 }  // namespace bac::server

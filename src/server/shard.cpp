@@ -94,4 +94,9 @@ ShardSnapshot CacheShard::snapshot() const {
   return s;
 }
 
+void CacheShard::export_policy_metrics(obs::MetricRegistry& registry) const {
+  MutexLock lock(mutex_);
+  policy_->export_metrics(registry);
+}
+
 }  // namespace bac::server

@@ -87,6 +87,12 @@ class CacheShard {
 
   [[nodiscard]] ShardSnapshot snapshot() const;
 
+  /// Fold the shard policy's structural counters (ghost hits, hand
+  /// sweeps, ...) into `registry` under the shard lock. Counters are
+  /// event counts, so summing over shards is thread-count invariant —
+  /// shard assignment is by block, not by thread.
+  void export_policy_metrics(obs::MetricRegistry& registry) const;
+
  private:
   // Everything below the mutex is mutated only under it (the clang-tsa
   // preset proves this). header_ is immutable shared context; policy_,

@@ -1,6 +1,8 @@
 #include "verify/reference_policies.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <list>
 #include <set>
 #include <sstream>
 
@@ -11,7 +13,7 @@ namespace bac::verify {
 namespace {
 
 // --- the frozen std::set policies ------------------------------------------
-// Each class is the pre-flat-index implementation from algs/classical/,
+// Each class is the pre-flat-index implementation from algs/policies/,
 // kept verbatim (modulo the Ref name) as the equivalence specification.
 
 class RefLruPolicy final : public OnlinePolicy {
@@ -231,6 +233,413 @@ class RefBlockLruPolicy final : public OnlinePolicy {
   std::vector<int> cached_count_;
 };
 
+// --- the frozen modern-policy twins -----------------------------------------
+// Boring std::deque/std::list mirrors of the S3-FIFO/SIEVE/ARC semantics
+// in algs/policies/modern.hpp. Same decisions, textbook containers.
+
+/// The GhostTable contract in deque form: remembers the most recent
+/// `capacity` inserted ids, dropping the oldest when full.
+class RefGhost {
+ public:
+  void reset(int n, int capacity) {
+    in_.assign(static_cast<std::size_t>(n), 0);
+    order_.clear();
+    capacity_ = capacity;
+  }
+  [[nodiscard]] bool contains(std::int32_t id) const {
+    return in_[static_cast<std::size_t>(id)] != 0;
+  }
+  [[nodiscard]] int size() const { return static_cast<int>(order_.size()); }
+  void insert(std::int32_t id) {
+    if (contains(id)) {
+      order_.erase(std::find(order_.begin(), order_.end(), id));
+    } else if (capacity_ <= 0) {
+      return;
+    } else if (static_cast<int>(order_.size()) >= capacity_) {
+      in_[static_cast<std::size_t>(order_.front())] = 0;
+      order_.pop_front();
+    }
+    order_.push_back(id);
+    in_[static_cast<std::size_t>(id)] = 1;
+  }
+  void erase(std::int32_t id) {
+    if (!contains(id)) return;
+    order_.erase(std::find(order_.begin(), order_.end(), id));
+    in_[static_cast<std::size_t>(id)] = 0;
+  }
+  void pop_front() {
+    if (order_.empty()) return;
+    in_[static_cast<std::size_t>(order_.front())] = 0;
+    order_.pop_front();
+  }
+
+ private:
+  std::vector<char> in_;
+  std::deque<std::int32_t> order_;
+  int capacity_ = 0;
+};
+
+class RefS3FifoPolicy final : public OnlinePolicy {
+ public:
+  explicit RefS3FifoPolicy(double small_frac) : small_frac_(small_frac) {}
+  [[nodiscard]] std::string name() const override { return "RefS3FIFO"; }
+  void reset(const Instance& inst) override {
+    const auto n = static_cast<std::size_t>(inst.n_pages());
+    small_target_ = std::max(
+        1, static_cast<int>(small_frac_ * static_cast<double>(inst.k)));
+    small_.clear();
+    main_.clear();
+    ghost_.reset(inst.n_pages(), inst.k);
+    freq_.assign(n, 0);
+  }
+  void on_request(Time /*t*/, PageId p, CacheOps& cache) override {
+    auto& f = freq_[static_cast<std::size_t>(p)];
+    if (cache.contains(p)) {
+      f = std::min(f + 1, 3);
+      return;
+    }
+    while (cache.size() >= cache.capacity()) evict_one(cache);
+    if (ghost_.contains(p)) {
+      ghost_.erase(p);
+      main_.push_back(p);
+    } else {
+      small_.push_back(p);
+    }
+    f = 0;
+    cache.fetch(p);
+  }
+
+ private:
+  void evict_one(CacheOps& cache) {
+    for (;;) {
+      bool use_small =
+          static_cast<int>(small_.size()) >= small_target_ || main_.empty();
+      if (use_small && small_.empty()) use_small = false;
+      if (use_small) {
+        const PageId h = small_.front();
+        auto& f = freq_[static_cast<std::size_t>(h)];
+        small_.pop_front();
+        if (f > 1) {
+          main_.push_back(h);
+          f = 0;
+          continue;
+        }
+        ghost_.insert(h);
+        cache.evict(h);
+        return;
+      }
+      const PageId h = main_.front();
+      auto& f = freq_[static_cast<std::size_t>(h)];
+      main_.pop_front();
+      if (f > 0) {
+        --f;
+        main_.push_back(h);
+        continue;
+      }
+      cache.evict(h);
+      return;
+    }
+  }
+
+  double small_frac_;
+  int small_target_ = 1;
+  std::deque<PageId> small_;
+  std::deque<PageId> main_;
+  RefGhost ghost_;
+  std::vector<int> freq_;
+};
+
+class RefSievePolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "RefSIEVE"; }
+  void reset(const Instance& inst) override {
+    order_.clear();
+    visited_.assign(static_cast<std::size_t>(inst.n_pages()), 0);
+    hand_ = order_.end();
+  }
+  void on_request(Time /*t*/, PageId p, CacheOps& cache) override {
+    if (cache.contains(p)) {
+      visited_[static_cast<std::size_t>(p)] = 1;
+      return;
+    }
+    if (cache.size() >= cache.capacity()) {
+      auto it = hand_ == order_.end() ? order_.begin() : hand_;
+      while (visited_[static_cast<std::size_t>(*it)] != 0) {
+        visited_[static_cast<std::size_t>(*it)] = 0;
+        ++it;
+        if (it == order_.end()) it = order_.begin();
+      }
+      const PageId victim = *it;
+      hand_ = order_.erase(it);  // may be end(): resume from the oldest
+      cache.evict(victim);
+    }
+    order_.push_back(p);
+    visited_[static_cast<std::size_t>(p)] = 0;
+    cache.fetch(p);
+  }
+
+ private:
+  std::list<PageId> order_;  // front = oldest
+  std::vector<char> visited_;
+  std::list<PageId>::iterator hand_ = order_.end();
+};
+
+class RefArcPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "RefARC"; }
+  void reset(const Instance& inst) override {
+    c_ = inst.k;
+    p_ = 0;
+    t1_.clear();
+    t2_.clear();
+    in_t1_.assign(static_cast<std::size_t>(inst.n_pages()), 0);
+    in_t2_.assign(static_cast<std::size_t>(inst.n_pages()), 0);
+    b1_.reset(inst.n_pages(), c_);
+    b2_.reset(inst.n_pages(), 2 * c_);
+  }
+  void on_request(Time /*t*/, PageId p, CacheOps& cache) override {
+    const auto i = static_cast<std::size_t>(p);
+    if (in_t1_[i] != 0 || in_t2_[i] != 0) {  // Case I
+      if (in_t1_[i] != 0) {
+        t1_.erase(std::find(t1_.begin(), t1_.end(), p));
+        in_t1_[i] = 0;
+      } else {
+        t2_.erase(std::find(t2_.begin(), t2_.end(), p));
+      }
+      t2_.push_back(p);
+      in_t2_[i] = 1;
+      return;
+    }
+    if (b1_.contains(p)) {  // Case II
+      const int delta = std::max(1, b2_size() / b1_size());
+      p_ = std::min(c_, p_ + delta);
+      b1_.erase(p);
+      replace(false, cache);
+      t2_.push_back(p);
+      in_t2_[i] = 1;
+      cache.fetch(p);
+      return;
+    }
+    if (b2_.contains(p)) {  // Case III
+      const int delta = std::max(1, b1_size() / b2_size());
+      p_ = std::max(0, p_ - delta);
+      b2_.erase(p);
+      replace(true, cache);
+      t2_.push_back(p);
+      in_t2_[i] = 1;
+      cache.fetch(p);
+      return;
+    }
+    // Case IV
+    const int t1 = static_cast<int>(t1_.size());
+    const int l1 = t1 + b1_size();
+    const int l2 = static_cast<int>(t2_.size()) + b2_size();
+    if (l1 == c_) {
+      if (t1 < c_) {
+        b1_.pop_front();
+        replace(false, cache);
+      } else {
+        const PageId victim = t1_.front();
+        t1_.pop_front();
+        in_t1_[static_cast<std::size_t>(victim)] = 0;
+        cache.evict(victim);
+      }
+    } else if (l1 < c_ && l1 + l2 >= c_) {
+      if (l1 + l2 >= 2 * c_) b2_.pop_front();
+      replace(false, cache);
+    }
+    t1_.push_back(p);
+    in_t1_[i] = 1;
+    cache.fetch(p);
+  }
+
+ private:
+  [[nodiscard]] int b1_size() const { return b1_.size(); }
+  [[nodiscard]] int b2_size() const { return b2_.size(); }
+  void replace(bool requested_in_b2, CacheOps& cache) {
+    const int t1 = static_cast<int>(t1_.size());
+    const bool from_t1 =
+        t1 >= 1 && (t1 > p_ || (requested_in_b2 && t1 == p_));
+    if (from_t1 || t2_.empty()) {
+      if (t1_.empty()) return;
+      const PageId victim = t1_.front();
+      t1_.pop_front();
+      in_t1_[static_cast<std::size_t>(victim)] = 0;
+      b1_.insert(victim);
+      cache.evict(victim);
+    } else {
+      const PageId victim = t2_.front();
+      t2_.pop_front();
+      in_t2_[static_cast<std::size_t>(victim)] = 0;
+      b2_.insert(victim);
+      cache.evict(victim);
+    }
+  }
+
+  int c_ = 0;
+  int p_ = 0;
+  std::list<PageId> t1_;  // front = LRU
+  std::list<PageId> t2_;
+  std::vector<char> in_t1_;
+  std::vector<char> in_t2_;
+  RefGhost b1_;
+  RefGhost b2_;
+};
+
+class RefBlockS3FifoPolicy final : public OnlinePolicy {
+ public:
+  explicit RefBlockS3FifoPolicy(double small_frac)
+      : small_frac_(small_frac) {}
+  [[nodiscard]] std::string name() const override { return "RefBlockS3FIFO"; }
+  void reset(const Instance& inst) override {
+    const auto m = static_cast<std::size_t>(inst.blocks.n_blocks());
+    const int block_slots =
+        std::max(1, inst.k / std::max(1, inst.blocks.beta()));
+    small_target_ = std::max(
+        1, static_cast<int>(small_frac_ * static_cast<double>(block_slots)));
+    small_.clear();
+    main_.clear();
+    ghost_.reset(inst.blocks.n_blocks(), block_slots);
+    freq_.assign(m, 0);
+    cached_count_.assign(m, 0);
+  }
+  void on_request(Time /*t*/, PageId p, CacheOps& cache) override {
+    const BlockId b = cache.blocks().block_of(p);
+    auto& f = freq_[static_cast<std::size_t>(b)];
+    if (cache.contains(p)) {
+      f = std::min(f + 1, 3);
+      return;
+    }
+    bool to_main;  // segment the detached block re-enters
+    const auto in_small = std::find(small_.begin(), small_.end(), b);
+    if (in_small != small_.end()) {
+      small_.erase(in_small);
+      to_main = false;
+      f = std::min(f + 1, 3);
+    } else {
+      const auto in_main = std::find(main_.begin(), main_.end(), b);
+      if (in_main != main_.end()) {
+        main_.erase(in_main);
+        to_main = true;
+        f = std::min(f + 1, 3);
+      } else if (ghost_.contains(b)) {
+        ghost_.erase(b);
+        to_main = true;
+        f = 0;
+      } else {
+        to_main = false;
+        f = 0;
+      }
+    }
+    cache.fetch(p);
+    cached_count_[static_cast<std::size_t>(b)] += 1;
+    while (cache.size() > cache.capacity()) {
+      if (small_.empty() && main_.empty()) {
+        cached_count_[static_cast<std::size_t>(b)] -=
+            cache.flush_block(b, p);
+        break;
+      }
+      evict_one_block(cache);
+    }
+    if (to_main) main_.push_back(b);
+    else small_.push_back(b);
+  }
+
+ private:
+  void evict_one_block(CacheOps& cache) {
+    for (;;) {
+      bool use_small =
+          static_cast<int>(small_.size()) >= small_target_ || main_.empty();
+      if (use_small && small_.empty()) use_small = false;
+      BlockId h;
+      if (use_small) {
+        h = small_.front();
+        auto& f = freq_[static_cast<std::size_t>(h)];
+        small_.pop_front();
+        if (f > 1) {
+          main_.push_back(h);
+          f = 0;
+          continue;
+        }
+        ghost_.insert(h);
+      } else {
+        h = main_.front();
+        auto& f = freq_[static_cast<std::size_t>(h)];
+        main_.pop_front();
+        if (f > 0) {
+          --f;
+          main_.push_back(h);
+          continue;
+        }
+      }
+      cached_count_[static_cast<std::size_t>(h)] -= cache.flush_block(h);
+      return;
+    }
+  }
+
+  double small_frac_;
+  int small_target_ = 1;
+  std::deque<BlockId> small_;
+  std::deque<BlockId> main_;
+  RefGhost ghost_;
+  std::vector<int> freq_;
+  std::vector<int> cached_count_;
+};
+
+class RefBlockSievePolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "RefBlockSIEVE"; }
+  void reset(const Instance& inst) override {
+    const auto m = static_cast<std::size_t>(inst.blocks.n_blocks());
+    order_.clear();
+    visited_.assign(m, 0);
+    resident_.assign(m, 0);
+    cached_count_.assign(m, 0);
+    hand_ = order_.end();
+  }
+  void on_request(Time /*t*/, PageId p, CacheOps& cache) override {
+    const BlockId b = cache.blocks().block_of(p);
+    const auto bi = static_cast<std::size_t>(b);
+    if (cache.contains(p)) {
+      visited_[bi] = 1;
+      return;
+    }
+    if (resident_[bi] == 0) {
+      order_.push_back(b);
+      resident_[bi] = 1;
+      visited_[bi] = 0;
+    } else {
+      visited_[bi] = 1;
+    }
+    cache.fetch(p);
+    cached_count_[bi] += 1;
+    while (cache.size() > cache.capacity()) {
+      if (order_.size() == 1) {
+        cached_count_[bi] -= cache.flush_block(b, p);
+        break;
+      }
+      auto it = hand_ == order_.end() ? order_.begin() : hand_;
+      while (*it == b || visited_[static_cast<std::size_t>(*it)] != 0) {
+        if (*it != b) visited_[static_cast<std::size_t>(*it)] = 0;
+        ++it;
+        if (it == order_.end()) it = order_.begin();
+      }
+      const BlockId victim = *it;
+      hand_ = order_.erase(it);
+      resident_[static_cast<std::size_t>(victim)] = 0;
+      cached_count_[static_cast<std::size_t>(victim)] -=
+          cache.flush_block(victim);
+    }
+  }
+
+ private:
+  std::list<BlockId> order_;  // front = oldest
+  std::vector<char> visited_;
+  std::vector<char> resident_;
+  std::vector<int> cached_count_;
+  std::list<BlockId>::iterator hand_ = order_.end();
+};
+
 // --- run comparison ---------------------------------------------------------
 
 std::string fmt17(double x) {
@@ -259,6 +668,16 @@ reference_policy_twins() {
                      std::make_unique<RefBlockLruPolicy>(false));
   twins.emplace_back("block_lru_prefetch",
                      std::make_unique<RefBlockLruPolicy>(true));
+  // The modern zoo, at the registry defaults plus one off-default knob so
+  // the parameterized-spec path is fuzzed too (0.25 is "s3fifo@0.25").
+  twins.emplace_back("s3fifo", std::make_unique<RefS3FifoPolicy>(0.1));
+  twins.emplace_back("s3fifo@0.25", std::make_unique<RefS3FifoPolicy>(0.25));
+  twins.emplace_back("sieve", std::make_unique<RefSievePolicy>());
+  twins.emplace_back("arc", std::make_unique<RefArcPolicy>());
+  twins.emplace_back("block_s3fifo",
+                     std::make_unique<RefBlockS3FifoPolicy>(0.1));
+  twins.emplace_back("block_sieve",
+                     std::make_unique<RefBlockSievePolicy>());
   return twins;
 }
 

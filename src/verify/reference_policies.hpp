@@ -1,7 +1,7 @@
 // Frozen std::set-based reference implementations of the deterministic
 // classical policies, for the policy_equivalence oracle family.
 //
-// The production policies in algs/classical/ keep their eviction orders
+// The production policies in algs/policies/ keep their eviction orders
 // in the flat primitives from core/eviction_index.hpp (intrusive lists,
 // lazy heaps). These twins keep the original
 // std::set<std::pair<Key, id>> bookkeeping, verbatim from the code the
@@ -26,9 +26,12 @@
 
 namespace bac::verify {
 
-/// (registry name, frozen reference twin) for every deterministic
-/// classical policy rewritten onto the flat eviction indexes: lru, fifo,
-/// lfu, belady, greedy_dual, block_lru, block_lru_prefetch.
+/// (registry spec, frozen reference twin) for every deterministic policy
+/// rewritten onto the flat eviction indexes: the classical set (lru,
+/// fifo, lfu, belady, greedy_dual, block_lru, block_lru_prefetch) plus
+/// the modern zoo (s3fifo — default and one off-default knob spec —
+/// sieve, arc, block_s3fifo, block_sieve). Specs resolve through
+/// make_policy, so the parameterized-spec grammar is fuzzed too.
 std::vector<std::pair<std::string, std::unique_ptr<OnlinePolicy>>>
 reference_policy_twins();
 

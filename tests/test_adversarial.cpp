@@ -3,7 +3,7 @@
 // nemesis, and the adaptive (h,k) adversary.
 #include <gtest/gtest.h>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "core/schedule.hpp"
 #include "core/simulator.hpp"
 #include "trace/adversarial.hpp"

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "algs/bicriteria.hpp"
-#include "algs/classical/fractional_paging.hpp"
+#include "algs/policies/fractional_paging.hpp"
 #include "algs/opt.hpp"
 #include "lp/naive_lp.hpp"
 #include "trace/adversarial.hpp"

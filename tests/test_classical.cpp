@@ -5,7 +5,7 @@
 
 #include <memory>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/opt.hpp"
 #include "core/simulator.hpp"
 #include "trace/adversarial.hpp"

@@ -3,7 +3,7 @@
 // expected advantage over block-oblivious baselines.
 #include <gtest/gtest.h>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/det_online.hpp"
 #include "algs/opt.hpp"
 #include "core/simulator.hpp"

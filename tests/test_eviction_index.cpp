@@ -14,7 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "core/cost_meter.hpp"
 #include "core/eviction_index.hpp"
 #include "core/instance.hpp"
@@ -267,6 +267,138 @@ TEST(LazyMinHeapTest, MirrorsStdSetOverRandomOperations) {
     }
     ASSERT_EQ(heap.size(), static_cast<int>(ref.size()));
   }
+}
+
+// --- SegmentedFifo ----------------------------------------------------------
+
+TEST(SegmentedFifoTest, PerSegmentFifoOrder) {
+  SegmentedFifo q;
+  q.reset(8, 2);
+  EXPECT_EQ(q.front(0), SegmentedFifo::kNone);
+  EXPECT_EQ(q.pop_front(1), SegmentedFifo::kNone);
+  for (int id : {3, 1, 5}) q.push_back(0, id);
+  q.push_back(1, 7);
+  EXPECT_EQ(q.size(0), 3);
+  EXPECT_EQ(q.size(1), 1);
+  EXPECT_EQ(q.total_size(), 4);
+  EXPECT_EQ(q.segment_of(5), 0);
+  EXPECT_EQ(q.segment_of(7), 1);
+  EXPECT_EQ(q.segment_of(2), SegmentedFifo::kNone);
+  EXPECT_EQ(q.pop_front(0), 3);
+  EXPECT_EQ(q.pop_front(0), 1);
+  EXPECT_EQ(q.pop_front(0), 5);
+  EXPECT_EQ(q.pop_front(0), SegmentedFifo::kNone);
+  EXPECT_EQ(q.pop_front(1), 7);
+}
+
+TEST(SegmentedFifoTest, PromoteDemoteKeepsBothOrders) {
+  SegmentedFifo q;
+  q.reset(8, 2);
+  for (int id = 0; id < 5; ++id) q.push_back(0, id);
+  q.move_back(1, 1);  // promote 1: segment 0 keeps 0,2,3,4
+  q.move_back(3, 1);  // promote 3: segment 1 holds 1,3
+  EXPECT_EQ(q.segment_of(1), 1);
+  EXPECT_EQ(q.size(0), 3);
+  EXPECT_EQ(q.size(1), 2);
+  // A same-segment move_back is the FIFO reinsert (second chance).
+  q.move_back(0, 0);  // segment 0 now 2,3?,no: 2,4,0
+  EXPECT_EQ(q.pop_front(0), 2);
+  EXPECT_EQ(q.pop_front(0), 4);
+  EXPECT_EQ(q.pop_front(0), 0);
+  EXPECT_EQ(q.pop_front(1), 1);
+  EXPECT_EQ(q.pop_front(1), 3);
+  // Erase from the middle of a segment.
+  q.push_back(0, 6);
+  q.push_back(0, 7);
+  q.erase(6);
+  EXPECT_FALSE(q.contains(6));
+  EXPECT_EQ(q.pop_front(0), 7);
+}
+
+TEST(SegmentedFifoTest, ResetReusesStorage) {
+  SegmentedFifo q;
+  q.reset(64, 3);
+  for (int id = 0; id < 64; ++id) q.push_back(id % 3, id);
+  q.reset(64, 3);  // warm: same shape
+  const long long before = g_allocations.load();
+  for (int round = 0; round < 5; ++round) {
+    q.reset(64, 3);
+    for (int id = 0; id < 64; ++id) q.push_back(id % 3, id);
+    for (int id = 0; id < 64; id += 2) q.move_back(id, (id + 1) % 3);
+    while (q.size(0) > 0) q.pop_front(0);
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+}
+
+// --- GhostTable -------------------------------------------------------------
+
+TEST(GhostTableTest, RemembersMostRecentCapacityIds) {
+  GhostTable g;
+  g.reset(16, 3);
+  EXPECT_EQ(g.insert(1), GhostTable::kNone);
+  EXPECT_EQ(g.insert(2), GhostTable::kNone);
+  EXPECT_EQ(g.insert(3), GhostTable::kNone);
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.insert(4), 1);  // oldest dropped, reported
+  EXPECT_FALSE(g.contains(1));
+  EXPECT_TRUE(g.contains(2));
+  EXPECT_EQ(g.front(), 2);
+  // Reinserting a remembered id re-stamps it as most recent, no drop.
+  const std::uint64_t stamp2 = g.stamp_of(2);
+  EXPECT_EQ(g.insert(2), GhostTable::kNone);
+  EXPECT_GT(g.stamp_of(2), stamp2);
+  EXPECT_EQ(g.front(), 3);   // 2 moved to the back
+  EXPECT_EQ(g.insert(5), 3);  // now 3 is the oldest
+}
+
+TEST(GhostTableTest, EraseAndPopFront) {
+  GhostTable g;
+  g.reset(8, 4);
+  g.insert(0);
+  g.insert(1);
+  g.insert(2);
+  g.erase(1);
+  EXPECT_FALSE(g.contains(1));
+  EXPECT_EQ(g.size(), 2);
+  g.erase(1);  // erasing an absent id is a no-op
+  EXPECT_EQ(g.pop_front(), 0);
+  EXPECT_EQ(g.pop_front(), 2);
+  EXPECT_EQ(g.pop_front(), GhostTable::kNone);
+}
+
+TEST(GhostTableTest, ZeroCapacityRemembersNothing) {
+  GhostTable g;
+  g.reset(4, 0);
+  EXPECT_EQ(g.insert(1), GhostTable::kNone);
+  EXPECT_FALSE(g.contains(1));
+  EXPECT_EQ(g.size(), 0);
+}
+
+TEST(GhostTableTest, InsertAllocatesNothingAfterReset) {
+  GhostTable g;
+  g.reset(32, 8);
+  const long long before = g_allocations.load();
+  for (int round = 0; round < 4; ++round) {
+    g.reset(32, 8);
+    for (int id = 0; id < 32; ++id) g.insert(id);
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+}
+
+// --- PageMeta ---------------------------------------------------------------
+
+TEST(PageMetaTest, ResetFillsAndIndexes) {
+  PageMeta<int> meta;
+  meta.reset(4, 7);
+  EXPECT_EQ(meta.size(), 4);
+  EXPECT_EQ(meta[0], 7);
+  meta[2] = 42;
+  EXPECT_EQ(meta[2], 42);
+  meta.reset(4);  // default init
+  EXPECT_EQ(meta[2], 0);
+  const long long before = g_allocations.load();
+  meta.reset(4, 1);  // same shape: storage reused
+  EXPECT_EQ(g_allocations.load(), before);
 }
 
 // --- repeated-reset allocation guarantee ------------------------------------

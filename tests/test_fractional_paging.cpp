@@ -3,8 +3,8 @@
 #include <gtest/gtest.h>
 #include <cmath>
 
-#include "algs/classical/classical.hpp"
-#include "algs/classical/fractional_paging.hpp"
+#include "algs/policies/classical.hpp"
+#include "algs/policies/fractional_paging.hpp"
 #include "algs/opt.hpp"
 #include "core/simulator.hpp"
 #include "trace/adversarial.hpp"

@@ -3,7 +3,7 @@
 // and end-to-end sanity of the experiment pipelines the benches run.
 #include <gtest/gtest.h>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/det_online.hpp"
 #include "algs/fractional.hpp"
 #include "algs/lower_bounds.hpp"

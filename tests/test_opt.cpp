@@ -3,7 +3,7 @@
 // the Claim 2.1 separation measured with real OPT.
 #include <gtest/gtest.h>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/opt.hpp"
 #include "core/simulator.hpp"
 #include "trace/adversarial.hpp"

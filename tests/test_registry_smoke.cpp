@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/det_online.hpp"
 #include "algs/zoo.hpp"
 #include "core/simulator.hpp"

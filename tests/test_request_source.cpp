@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "core/mrc.hpp"
 #include "core/request_source.hpp"
 #include "core/simulator.hpp"

@@ -9,7 +9,7 @@
 #include <set>
 #include <vector>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/det_online.hpp"
 #include "core/request_source.hpp"
 #include "core/simulator.hpp"

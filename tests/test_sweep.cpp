@@ -7,11 +7,12 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <unistd.h>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/zoo.hpp"
 #include "core/simulator.hpp"
 #include "driver/sweep.hpp"
@@ -228,6 +229,49 @@ TEST(Sweep, ZipfNamedFilesRouteToTraceReaders) {
   auto source = driver::make_workload_source(file, config, 8);
   EXPECT_EQ(source->horizon_hint(), 100);
   std::filesystem::remove(file);
+}
+
+TEST(Sweep, CsvMappingCacheIsBounded) {
+  // Regression: the process-wide CSV mapping cache used to be an
+  // unbounded static unordered_map; a long-lived process sweeping many
+  // distinct trace files grew it forever. It must now cap at
+  // kCsvMappingCacheCapacity entries, evicting the coldest.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("bac_csvcache_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  driver::csv_mapping_cache_clear();
+  ASSERT_EQ(driver::csv_mapping_cache_size(), 0);
+
+  driver::SweepConfig config;
+  const int files = driver::kCsvMappingCacheCapacity + 3;
+  std::vector<std::string> paths;
+  for (int i = 0; i < files; ++i) {
+    const std::string file =
+        (dir / ("trace" + std::to_string(i) + ".csv")).string();
+    {
+      std::ofstream out(file);
+      out << "timestamp,key,size\n"
+             "1,100,4096\n2,101,4096\n3,102,4096\n4,100,4096\n";
+    }
+    paths.push_back(file);
+    auto source = driver::make_workload_source(file, config, 8);
+    ASSERT_NE(source, nullptr);
+    EXPECT_LE(driver::csv_mapping_cache_size(),
+              driver::kCsvMappingCacheCapacity);
+  }
+  EXPECT_EQ(driver::csv_mapping_cache_size(),
+            driver::kCsvMappingCacheCapacity);
+
+  // Re-reading a file that is still cached hits instead of growing.
+  (void)driver::make_workload_source(paths.back(), config, 8);
+  EXPECT_EQ(driver::csv_mapping_cache_size(),
+            driver::kCsvMappingCacheCapacity);
+
+  driver::csv_mapping_cache_clear();
+  EXPECT_EQ(driver::csv_mapping_cache_size(), 0);
+  fs::remove_all(dir);
 }
 
 TEST(Sweep, UnknownPolicyOrWorkloadThrows) {

@@ -11,7 +11,7 @@
 #include <sstream>
 #include <unistd.h>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/det_online.hpp"
 #include "core/simulator.hpp"
 #include "trace/bact.hpp"

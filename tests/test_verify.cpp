@@ -8,7 +8,7 @@
 #include <fstream>
 #include <unistd.h>
 
-#include "algs/classical/classical.hpp"
+#include "algs/policies/classical.hpp"
 #include "algs/zoo.hpp"
 #include "core/simulator.hpp"
 #include "trace/bact.hpp"
@@ -195,8 +195,10 @@ TEST(PolicyEquivalence, ReferenceTwinsCoverEveryRewrittenPolicy) {
     EXPECT_NO_THROW(make_policy(name)) << name;
   }
   const std::vector<std::string> expect = {
-      "lru",         "fifo",      "lfu",               "belady",
-      "greedy_dual", "block_lru", "block_lru_prefetch"};
+      "lru",          "fifo",  "lfu",         "belady",
+      "greedy_dual",  "block_lru", "block_lru_prefetch",
+      "s3fifo",       "s3fifo@0.25", "sieve", "arc",
+      "block_s3fifo", "block_sieve"};
   EXPECT_EQ(names, expect);
 }
 

@@ -29,6 +29,7 @@
 #include "util/timer.hpp"
 #include "verify/fuzz.hpp"
 #include "verify/golden.hpp"
+#include "verify/reference_policies.hpp"
 
 namespace {
 
@@ -87,7 +88,12 @@ int write_report(const std::string& path, const bac::verify::FuzzConfig& config,
   os << (report.failures.empty() ? "]" : "\n  ]")
      << ",\n  \"aggregate\": {\"seeds_run\": " << report.seeds_run
      << ", \"family_checks\": " << report.family_checks
-     << ", \"violations\": " << report.failures.size() << ", \"wall_ms\": ";
+     << ", \"violations\": " << report.failures.size()
+     // The production<->frozen-twin pairs the policy_equivalence family
+     // replays per seed; CI pins this so a twin silently dropping from
+     // the registry cannot shrink coverage unnoticed.
+     << ", \"policy_twins\": " << bac::verify::reference_policy_twins().size()
+     << ", \"wall_ms\": ";
   bac::write_json_number(os, wall_ms);
   os << "}\n}\n";
   if (!os.flush()) {
