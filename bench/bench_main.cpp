@@ -9,11 +9,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace bac::bench {
@@ -309,8 +309,8 @@ Options& options() {
 void record(Record r) {
   // Experiments may record from tasks on the global pool; serialize the
   // appends (order then follows task completion, not submission).
-  static std::mutex mutex;
-  std::lock_guard lock(mutex);
+  static bac::Mutex mutex;
+  bac::MutexLock lock(mutex);
   if (g_current != nullptr) g_current->records.push_back(std::move(r));
 }
 

@@ -110,8 +110,8 @@ struct CsvMappingSlot {
 };
 
 Mutex g_csv_cache_mutex;
-std::vector<CsvMappingSlot> g_csv_cache;
-std::uint64_t g_csv_cache_clock = 0;
+std::vector<CsvMappingSlot> g_csv_cache GUARDED_BY(g_csv_cache_mutex);
+std::uint64_t g_csv_cache_clock GUARDED_BY(g_csv_cache_mutex) = 0;
 
 std::shared_ptr<const CsvMapping> csv_mapping_for(const std::string& path,
                                                   const SweepConfig& c,

@@ -8,21 +8,30 @@
 // hash maps (ROADMAP item 6); cost values are never compared with raw
 // float equality outside the bit-exactness-by-contract verify layer; and
 // golden/bench serialization keeps round-trip `%.17g` precision. baclint
-// enforces exactly those, as a rule table scanned over every source line
-// — cheap enough to run as a `lint`-labeled ctest on every build.
+// enforces exactly those — cheap enough to run as a `lint`-labeled ctest
+// on every build.
 //
-// The engine is a library (this header) so tests/test_baclint.cpp can
-// drive each rule against positive/negative fixtures without spawning
-// the CLI; tools/baclint.cpp is a thin front-end over it.
+// v2 layers the engine in two tiers sharing one reporting pipeline:
+//   - Rules (this header): one ECMAScript regex per invariant, applied
+//     line-by-line over a comment-free view of the file. Since v2 that
+//     view is produced by the real tokenizer (lint/token.hpp), so raw
+//     strings and multi-line comments strip correctly; `lint_lines`
+//     keeps its v1 signature as a compatibility shim.
+//   - Passes (lint/passes.hpp): scope-aware cross-line analyses over
+//     the token stream and brace-scope tree (lint/model.hpp) —
+//     lock-discipline, determinism hazards, hot-path allocation, and
+//     the include-layering DAG.
 //
-// Matching model: one ECMAScript regex per rule, applied line-by-line
-// after comment stripping (string literals are kept — format-string
-// rules need them). Three suppression levels, most specific first:
-//   1. inline: `baclint: allow(<rule>)` in a comment on the line,
+// The engine is a library so tests/test_baclint.cpp can drive each rule
+// and pass against fixtures without spawning the CLI; tools/baclint.cpp
+// is a thin front-end over it.
+//
+// Three suppression levels, most specific first:
+//   1. inline: `baclint: allow(<rule-or-pass>)` in a comment on the line,
 //   2. allowlist: an AllowEntry (rule, path suffix, line substring),
-//   3. rule scope: include/exclude path substrings on the rule itself.
-// Suppressed findings are still reported (allowed=true) so the JSON
-// report shows what is being waived and why.
+//   3. rule/pass scope: include/exclude path substrings.
+// Suppressed findings are still reported (allowed=true) so the JSON and
+// SARIF reports show what is being waived and why.
 #pragma once
 
 #include <iosfwd>
@@ -45,15 +54,15 @@ struct Rule {
 
 /// A known-intentional site, waived with a recorded reason.
 struct AllowEntry {
-  std::string rule;           ///< rule name the entry waives
+  std::string rule;           ///< rule or pass name the entry waives
   std::string path_suffix;    ///< file path must end with this
   std::string line_contains;  ///< line must contain this; "" = whole file
   std::string reason;         ///< why the site is exempt (kept in reports)
 };
 
-/// One regex hit, with its suppression status resolved.
+/// One finding (regex hit or pass diagnostic), suppression resolved.
 struct Finding {
-  std::string rule;
+  std::string rule;  ///< rule or pass name
   std::string path;
   long long line = 0;  ///< 1-based
   std::string text;    ///< the offending source line, whitespace-trimmed
@@ -69,8 +78,34 @@ const std::vector<Rule>& default_rules();
 /// Known-intentional sites in src/, each with a reason.
 const std::vector<AllowEntry>& default_allowlist();
 
+/// Known-intentional sites in the tools/, bench/, and tests/ trees —
+/// kept separate from default_allowlist() so `--check src` stays a
+/// self-contained gate. Every entry carries a reason.
+const std::vector<AllowEntry>& nonsrc_allowlist();
+
+/// Substring-based path gating shared by rules and passes: any exclude
+/// substring rejects; empty include accepts; otherwise any include
+/// substring accepts.
+bool path_selected(const std::string& path,
+                   const std::vector<std::string>& include,
+                   const std::vector<std::string>& exclude);
+
+/// Resolve suppression for a finding: inline `baclint: allow(<name>)`
+/// on the raw source line first, then the allowlist.
+void apply_suppressions(Finding& f, const std::string& raw_line,
+                        const std::vector<AllowEntry>& allowlist);
+
+/// Leading/trailing whitespace removed (finding text normalization).
+std::string trim_line(const std::string& s);
+
+/// Read a source file into lines (CR stripped). Throws
+/// std::runtime_error when unreadable.
+std::vector<std::string> read_source_lines(const std::string& path);
+
 /// Lint pre-split lines as if read from `path` (the testable core; no
-/// filesystem access). Throws std::invalid_argument on a malformed rule
+/// filesystem access). Comments are removed through the tokenizer, so
+/// multi-line constructs strip correctly; string literals stay visible
+/// to format rules. Throws std::invalid_argument on a malformed rule
 /// regex.
 std::vector<Finding> lint_lines(const std::string& path,
                                 const std::vector<std::string>& lines,
@@ -83,8 +118,10 @@ std::vector<Finding> lint_file(const std::string& path,
                                const std::vector<AllowEntry>& allowlist);
 
 /// Recursively collect .hpp/.cpp/.h/.cc files under `root`, sorted so
-/// scans are deterministic. A single regular file is returned as-is.
-/// Throws std::runtime_error when `root` does not exist.
+/// scans are deterministic. The lint fixture corpus (any directory named
+/// `lint_fixtures`) is skipped: fixtures exist to violate rules. A
+/// single regular file is returned as-is. Throws std::runtime_error when
+/// `root` does not exist.
 std::vector<std::string> list_source_files(const std::string& root);
 
 /// Number of findings that are NOT allowed (the CLI's exit criterion).

@@ -1,0 +1,89 @@
+#include "lint/sarif.hpp"
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace bac::lint {
+
+namespace {
+
+std::string clean_uri(const std::string& path) {
+  if (path.rfind("./", 0) == 0) return path.substr(2);
+  return path;
+}
+
+void write_rule_object(std::ostream& os, const std::string& name,
+                       const std::string& summary, const std::string& hint) {
+  os << "        {\"id\": ";
+  write_json_string(os, name);
+  os << ", \"shortDescription\": {\"text\": ";
+  write_json_string(os, summary);
+  os << "}, \"help\": {\"text\": ";
+  write_json_string(os, hint);
+  os << "}}";
+}
+
+}  // namespace
+
+void write_sarif_report(std::ostream& os, const std::vector<Rule>& rules,
+                        const std::vector<Pass>& passes,
+                        const std::vector<Finding>& findings) {
+  // ruleIndex = position in the combined rules-then-passes driver list.
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < rules.size(); ++i) index[rules[i].name] = i;
+  for (std::size_t i = 0; i < passes.size(); ++i)
+    index[passes[i].name] = rules.size() + i;
+
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\"driver\": {\n"
+     << "        \"name\": \"baclint\",\n"
+     << "        \"informationUri\": "
+        "\"https://github.com/block-aware-caching/bac\",\n"
+     << "        \"rules\": [\n";
+  const std::size_t total = rules.size() + passes.size();
+  std::size_t emitted = 0;
+  for (const Rule& r : rules) {
+    write_rule_object(os, r.name, r.summary, r.hint);
+    os << (++emitted < total ? ",\n" : "\n");
+  }
+  for (const Pass& p : passes) {
+    write_rule_object(os, p.name, p.summary, p.hint);
+    os << (++emitted < total ? ",\n" : "\n");
+  }
+  os << "      ]}},\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\"ruleId\": ";
+    write_json_string(os, f.rule);
+    auto it = index.find(f.rule);
+    if (it != index.end()) os << ", \"ruleIndex\": " << it->second;
+    os << ", \"level\": \"" << (f.allowed ? "note" : "error") << "\"";
+    os << ", \"message\": {\"text\": ";
+    std::string msg = f.text;
+    if (!f.hint.empty()) msg += " — " + f.hint;
+    write_json_string(os, msg);
+    os << "}, \"locations\": [{\"physicalLocation\": "
+          "{\"artifactLocation\": {\"uri\": ";
+    write_json_string(os, clean_uri(f.path));
+    os << "}, \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1)
+       << "}}}]";
+    if (f.allowed) {
+      os << ", \"suppressions\": [{\"kind\": \"inSource\", "
+            "\"justification\": ";
+      write_json_string(os, f.allow_reason);
+      os << "}]";
+    }
+    os << "}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n    }\n  ]\n}\n";
+}
+
+}  // namespace bac::lint

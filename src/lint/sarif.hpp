@@ -1,0 +1,28 @@
+// SARIF 2.1.0 emission for baclint.
+//
+// SARIF (Static Analysis Results Interchange Format) is the schema
+// GitHub code scanning ingests: uploading the report annotates the PR
+// diff with each finding inline. baclint emits one `run` whose driver
+// lists every rule and pass (rules first, in table order — ruleIndex is
+// an index into that combined list), one `result` per finding, and a
+// `suppressions` entry on findings waived by the allowlist or an inline
+// `baclint: allow(...)` so code scanning shows them as suppressed
+// instead of open.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "lint/passes.hpp"
+
+namespace bac::lint {
+
+/// Write the findings as a SARIF 2.1.0 document. Paths are emitted as
+/// given (CI scans with repo-relative roots, which is what code
+/// scanning expects); a leading "./" is dropped.
+void write_sarif_report(std::ostream& os, const std::vector<Rule>& rules,
+                        const std::vector<Pass>& passes,
+                        const std::vector<Finding>& findings);
+
+}  // namespace bac::lint

@@ -1,0 +1,356 @@
+#include "lint/token.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace bac::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// True when `s`, with trailing horizontal whitespace removed, ends in a
+/// backslash — i.e. the logical line continues on the next physical one.
+bool ends_with_continuation(const std::string& s) {
+  std::size_t n = s.size();
+  while (n > 0 && (s[n - 1] == ' ' || s[n - 1] == '\t' || s[n - 1] == '\r')) --n;
+  return n > 0 && s[n - 1] == '\\';
+}
+
+/// Cursor over the line array. Column `size()` is the virtual newline;
+/// only skip_whitespace() and lex_line_comment() move across lines, so
+/// the directive-continuation check always sees the line being left.
+class Lexer {
+ public:
+  explicit Lexer(const std::vector<std::string>& lines) : lines_(lines) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_whitespace();
+      if (at_end()) break;
+      Token t = next_token();
+      // A `#` that is the first token on its physical line opens a
+      // directive; the directive covers every token up to the first
+      // line break not preceded by a continuation backslash.
+      if (t.kind == Tok::Punct && t.text == "#" && first_on_line(t)) {
+        in_directive_ = true;
+      }
+      if (in_directive_) {
+        t.preproc = true;
+        // A trailing line comment swallows the rest of the logical
+        // line, continuation backslashes included, so it always closes
+        // the directive.
+        if (t.kind == Tok::Comment && t.text.rfind("//", 0) == 0) {
+          in_directive_ = false;
+        }
+      }
+      out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+ private:
+  bool at_end() const { return li_ >= lines_.size(); }
+  const std::string& line() const { return lines_[li_]; }
+  char cur() const { return ci_ < line().size() ? line()[ci_] : '\n'; }
+  char peek(std::size_t k = 1) const {
+    return ci_ + k < line().size() ? line()[ci_ + k] : '\n';
+  }
+
+  /// One character forward; at the virtual newline, steps to the next
+  /// line instead (used only by multi-line token lexers).
+  void advance() {
+    if (at_end()) return;
+    if (ci_ < line().size()) {
+      ++ci_;
+      return;
+    }
+    ++li_;
+    ci_ = 0;
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      if (ci_ >= line().size()) {
+        if (in_directive_ && !ends_with_continuation(line())) in_directive_ = false;
+        ++li_;
+        ci_ = 0;
+        continue;
+      }
+      char c = cur();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+        ++ci_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool first_on_line(const Token& t) const {
+    const std::string& l = lines_[static_cast<std::size_t>(t.line - 1)];
+    for (int i = 0; i < t.col; ++i) {
+      char c = l[static_cast<std::size_t>(i)];
+      if (c != ' ' && c != '\t') return false;
+    }
+    return true;
+  }
+
+  Token begin(Tok kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = static_cast<int>(li_) + 1;
+    t.col = static_cast<int>(ci_);
+    return t;
+  }
+
+  /// Stamp the end position from the current cursor (one past the last
+  /// consumed character, on the line it lives on).
+  void finish(Token& t, std::string text) {
+    t.text = std::move(text);
+    if (at_end()) {
+      t.end_line = static_cast<int>(lines_.size());
+      t.end_col = lines_.empty() ? 0 : static_cast<int>(lines_.back().size());
+    } else {
+      t.end_line = static_cast<int>(li_) + 1;
+      t.end_col = static_cast<int>(ci_);
+    }
+  }
+
+  Token next_token() {
+    char c = cur();
+    if (c == '/' && peek() == '/') return lex_line_comment();
+    if (c == '/' && peek() == '*') return lex_block_comment();
+    if (is_ident_start(c)) return lex_ident_or_prefixed_literal();
+    if (c == '"') return lex_string(begin(Tok::Str), std::string());
+    if (c == '\'') return lex_char(begin(Tok::CharLit), std::string());
+    if (is_digit(c) || (c == '.' && is_digit(peek()))) return lex_number();
+    return lex_punct();
+  }
+
+  Token lex_line_comment() {
+    Token t = begin(Tok::Comment);
+    std::string text = line().substr(ci_);
+    t.end_line = static_cast<int>(li_) + 1;
+    t.end_col = static_cast<int>(line().size());
+    bool cont = ends_with_continuation(line());
+    ++li_;
+    ci_ = 0;
+    while (cont && !at_end()) {
+      text.push_back('\n');
+      text.append(line());
+      t.end_line = static_cast<int>(li_) + 1;
+      t.end_col = static_cast<int>(line().size());
+      cont = ends_with_continuation(line());
+      ++li_;
+      ci_ = 0;
+    }
+    t.text = std::move(text);
+    return t;
+  }
+
+  Token lex_block_comment() {
+    Token t = begin(Tok::Comment);
+    std::string text = "/*";
+    advance();
+    advance();
+    while (!at_end()) {
+      if (ci_ < line().size() && cur() == '*' && peek() == '/') {
+        text += "*/";
+        advance();
+        advance();
+        finish(t, std::move(text));
+        return t;
+      }
+      text.push_back(cur());  // '\n' at the virtual newline
+      advance();
+    }
+    finish(t, std::move(text));  // unterminated: close at EOF
+    return t;
+  }
+
+  Token lex_ident_or_prefixed_literal() {
+    Token t = begin(Tok::Ident);
+    std::string text;
+    while (!at_end() && ci_ < line().size() && is_ident_char(cur())) {
+      text.push_back(cur());
+      ++ci_;
+    }
+    if (!at_end() && ci_ < line().size()) {
+      char nxt = cur();
+      bool raw = text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+                 text == "LR";
+      bool enc = text == "u8" || text == "u" || text == "U" || text == "L";
+      if (nxt == '"' && raw) return lex_raw_string(t, std::move(text));
+      if (nxt == '"' && enc) return lex_string(t, std::move(text));
+      if (nxt == '\'' && enc) return lex_char(t, std::move(text));
+    }
+    finish(t, std::move(text));
+    return t;
+  }
+
+  Token lex_string(Token t, std::string prefix) {
+    t.kind = Tok::Str;
+    std::string text = std::move(prefix);
+    text.push_back('"');
+    ++ci_;  // opening quote
+    while (ci_ < line().size()) {
+      char c = cur();
+      if (c == '\\' && ci_ + 1 < line().size()) {
+        text.push_back(c);
+        ++ci_;
+        text.push_back(cur());
+        ++ci_;
+        continue;
+      }
+      text.push_back(c);
+      ++ci_;
+      if (c == '"') break;
+    }
+    // An unterminated ordinary string closes at end of line (the
+    // compiler would reject it; the linter keeps scanning).
+    finish(t, std::move(text));
+    return t;
+  }
+
+  Token lex_char(Token t, std::string prefix) {
+    t.kind = Tok::CharLit;
+    std::string text = std::move(prefix);
+    text.push_back('\'');
+    ++ci_;
+    while (ci_ < line().size()) {
+      char c = cur();
+      if (c == '\\' && ci_ + 1 < line().size()) {
+        text.push_back(c);
+        ++ci_;
+        text.push_back(cur());
+        ++ci_;
+        continue;
+      }
+      text.push_back(c);
+      ++ci_;
+      if (c == '\'') break;
+    }
+    finish(t, std::move(text));
+    return t;
+  }
+
+  Token lex_raw_string(Token t, std::string prefix) {
+    t.kind = Tok::RawStr;
+    std::string text = std::move(prefix);
+    text.push_back('"');
+    ++ci_;  // opening quote
+    std::string delim;
+    while (ci_ < line().size() && cur() != '(') {
+      delim.push_back(cur());
+      text.push_back(cur());
+      ++ci_;
+    }
+    if (ci_ < line().size()) {
+      text.push_back('(');
+      ++ci_;
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::string window;
+    while (!at_end()) {
+      char c = cur();  // '\n' at the virtual newline
+      text.push_back(c);
+      window.push_back(c);
+      if (window.size() > closer.size()) window.erase(window.begin());
+      advance();
+      if (window == closer) break;
+    }
+    finish(t, std::move(text));
+    return t;
+  }
+
+  Token lex_number() {
+    Token t = begin(Tok::Number);
+    std::string text;
+    while (ci_ < line().size()) {
+      char c = cur();
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        // A quote continues the number only as a digit separator
+        // (`1'000`); otherwise it opens a char literal.
+        if (c == '\'' && !is_ident_char(peek())) break;
+        text.push_back(c);
+        ++ci_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty()) {
+        char p = text.back();
+        if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
+          text.push_back(c);
+          ++ci_;
+          continue;
+        }
+      }
+      break;
+    }
+    finish(t, std::move(text));
+    return t;
+  }
+
+  Token lex_punct() {
+    Token t = begin(Tok::Punct);
+    char c = cur();
+    std::string text(1, c);
+    ++ci_;
+    if (ci_ < line().size()) {
+      if ((c == ':' && cur() == ':') || (c == '-' && cur() == '>')) {
+        text.push_back(cur());
+        ++ci_;
+      }
+    }
+    finish(t, std::move(text));
+    return t;
+  }
+
+  const std::vector<std::string>& lines_;
+  std::size_t li_ = 0;
+  std::size_t ci_ = 0;
+  bool in_directive_ = false;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::vector<std::string>& lines) {
+  return Lexer(lines).run();
+}
+
+std::vector<std::string> stripped_lines(const std::vector<std::string>& lines,
+                                        const std::vector<Token>& tokens) {
+  std::vector<std::string> out = lines;
+  for (const Token& t : tokens) {
+    if (t.kind != Tok::Comment) continue;
+    std::size_t first = static_cast<std::size_t>(t.line - 1);
+    std::size_t last = static_cast<std::size_t>(t.end_line - 1);
+    if (first >= out.size()) continue;
+    if (last >= out.size()) last = out.size() - 1;
+    if (t.text.rfind("//", 0) == 0) {
+      // Line comment: truncate at the marker; continuation lines vanish.
+      out[first].resize(std::min(out[first].size(), static_cast<std::size_t>(t.col)));
+      for (std::size_t l = first + 1; l <= last; ++l) out[l].clear();
+    } else {
+      // Block comment: blank the covered span, keeping columns stable.
+      for (std::size_t l = first; l <= last; ++l) {
+        std::size_t from = (l == first) ? static_cast<std::size_t>(t.col) : 0;
+        std::size_t to = (l == last)
+                             ? std::min(out[l].size(), static_cast<std::size_t>(t.end_col))
+                             : out[l].size();
+        for (std::size_t i = from; i < to; ++i) out[l][i] = ' ';
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bac::lint

@@ -1,0 +1,70 @@
+// C++ tokenizer for the baclint v2 semantic engine.
+//
+// The v1 linter stripped comments with a per-line state machine that
+// could not know about raw string literals or comment continuations, so
+// `R"(...)"` spanning lines turned into phantom comment openers and a
+// line comment ending in a backslash leaked its continuation into "live
+// code". This tokenizer replaces that model: it lexes the whole file at
+// once into a flat token stream that the scope tree (model.hpp), the
+// cross-line passes (passes.hpp), and the v1 rule shim (lint.hpp) all
+// share.
+//
+// Guarantees (see DESIGN.md "static analysis" appendix):
+//   - comments are single tokens: `//` to end of logical line (backslash
+//     continuations included), `/* */` across any number of lines;
+//   - string literals are single tokens, including raw strings
+//     `R"delim(...)delim"` with arbitrary delimiters across lines, and
+//     prefixed literals (u8, u, U, L, and their R combinations);
+//   - char literals honour escapes; digit separators (`1'000`) do not
+//     open char literals;
+//   - tokens on a preprocessor directive line (first token `#`, plus
+//     backslash continuations) carry `preproc = true`, so structural
+//     consumers can skip macro bodies while `#include` extraction still
+//     sees them;
+//   - every token records its 1-based start line and 0-based column,
+//     plus the end position, so findings point at real source.
+//
+// The lexer never fails: malformed input (unterminated literals or
+// comments) closes the token at end of file and keeps going — a linter
+// must degrade, not crash, on code the compiler would reject.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bac::lint {
+
+enum class Tok {
+  Ident,    ///< identifiers and keywords (no keyword table; passes match text)
+  Number,   ///< numeric literals, including hex/float/digit-separators
+  Str,      ///< ordinary (possibly prefixed) string literal, quotes included
+  RawStr,   ///< raw string literal `R"d(...)d"`, full text included
+  CharLit,  ///< character literal, quotes included
+  Punct,    ///< punctuation; single char except the combined `::` and `->`
+  Comment,  ///< `//...` (with continuations) or `/*...*/`, markers included
+};
+
+struct Token {
+  Tok kind = Tok::Punct;
+  std::string text;      ///< exact source text of the token
+  int line = 0;          ///< 1-based line of the first character
+  int col = 0;           ///< 0-based column of the first character
+  int end_line = 0;      ///< 1-based line of the last character
+  int end_col = 0;       ///< 0-based column one past the last character
+  bool preproc = false;  ///< token belongs to a preprocessor directive line
+};
+
+/// Lex `lines` (one entry per source line, no trailing newlines) into a
+/// token stream. Whitespace is dropped; everything else, comments
+/// included, appears exactly once in source order.
+std::vector<Token> tokenize(const std::vector<std::string>& lines);
+
+/// The v1 per-line view rebuilt from the token stream: comments removed
+/// (line comments truncate the line, block comments are blanked with
+/// spaces so columns keep their meaning), string/char literals and all
+/// code kept verbatim. This is what the regex rule table scans — same
+/// contract as v1, minus the raw-string and continuation mis-strips.
+std::vector<std::string> stripped_lines(const std::vector<std::string>& lines,
+                                        const std::vector<Token>& tokens);
+
+}  // namespace bac::lint

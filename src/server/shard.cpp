@@ -31,6 +31,7 @@ long long CacheShard::get_batch(const PageId* ps, int n) {
   // mean — is what makes the p99/p999 of latency_us_ meaningful: a single
   // slow request in a 512-batch must show up in the tail, not be diluted
   // 512-fold.
+  // baclint: hot-path — the per-request eviction path must stay allocation-free
   const Stopwatch clock;
   MutexLock lock(mutex_);
   const double lock_wait_us = clock.micros();

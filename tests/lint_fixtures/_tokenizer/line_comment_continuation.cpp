@@ -1,0 +1,7 @@
+// Tokenizer pin (false positive in v1): a line comment whose physical
+// line ends in a backslash continues onto the next line; v1 treated the
+// continuation as live code and flagged the commented-out mutex.
+int before_marker = 0;
+// the next physical line is still part of this comment \
+std::mutex commented_out_;
+int after_marker = 0;

@@ -1,0 +1,11 @@
+// Tokenizer pin (false negative in v1): the per-line stripper saw the
+// `/*` inside this multi-line raw string as a comment opener and
+// blanked everything after it, swallowing the real violation below.
+// The tokenizer lexes the raw string as one token, so v2 flags it.
+#include <string>
+
+const std::string kDoc = R"(
+  /* this is raw-string text, not a comment opener
+)";
+
+std::mutex hidden_;  // real raw-mutex violation v1 could not see

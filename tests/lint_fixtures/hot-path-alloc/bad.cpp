@@ -1,0 +1,26 @@
+// Positive fixture: allocations inside a scope carrying the hot-path
+// tag (spelled out only inside on_request below, on purpose — the tag
+// marks the scope the comment sits in).
+#include <map>
+#include <memory>
+
+namespace bac {
+
+struct Page {
+  int id = 0;
+};
+
+class FixturePolicy {
+ public:
+  void on_request(int p) {
+    // baclint: hot-path
+    auto page = std::make_unique<Page>();  // must flag: allocation
+    page->id = p;
+    index_.insert({p, 1});  // must flag: node-allocating container op
+  }
+
+ private:
+  std::map<int, int> index_;
+};
+
+}  // namespace bac

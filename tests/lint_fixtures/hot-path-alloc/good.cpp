@@ -1,0 +1,21 @@
+// Negative fixture: the tagged scope touches only pre-sized flat state;
+// allocation happens in reset(), outside the tag.
+#include <cstddef>
+#include <vector>
+
+namespace bac {
+
+class FixturePolicy {
+ public:
+  void on_request(int p) {
+    // baclint: hot-path
+    if (static_cast<std::size_t>(p) < freq_.size()) ++freq_[p];
+  }
+
+  void reset(std::size_t n) { freq_.assign(n, 0); }
+
+ private:
+  std::vector<int> freq_;
+};
+
+}  // namespace bac

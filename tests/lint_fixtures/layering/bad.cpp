@@ -1,0 +1,8 @@
+// Positive fixture (linted as src/core/...): core reaching up into
+// server is a back-edge in the declared layering DAG.
+#include "server/shard.hpp"  // must flag: core may not depend on server
+#include "util/rng.hpp"
+
+namespace bac {
+int fixture_core_symbol = 0;
+}  // namespace bac

@@ -1,0 +1,8 @@
+// Negative fixture (linted as src/core/...): core depends downward
+// only — util and obs sit below it in the DAG.
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace bac {
+int fixture_core_symbol = 0;
+}  // namespace bac

@@ -1,0 +1,21 @@
+// Positive fixture: a GUARDED_BY member accessed without holding its
+// mutex — no MutexLock on the scope chain, no REQUIRES on the function.
+#include "util/thread_annotations.hpp"
+
+namespace bac {
+
+class FixtureShard {
+ public:
+  long long hits() const {
+    MutexLock lock(mutex_);
+    return hits_;
+  }
+
+  void record_unlocked() { ++hits_; }  // must flag: no lock held
+
+ private:
+  mutable Mutex mutex_;
+  long long hits_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace bac

@@ -1,0 +1,34 @@
+// Negative fixture: every guarded access holds the mutex, via a
+// MutexLock in scope or a REQUIRES annotation; the constructor is
+// exempt (exclusive access by construction, as in clang TSA).
+//
+// This file doubles as the mutation-test subject: deleting the
+// `MutexLock lock(mutex_);` lines must make the lock-discipline pass
+// fire (BacLint.MutationDeletingMutexLockFires).
+#include "util/thread_annotations.hpp"
+
+namespace bac {
+
+class FixtureShard {
+ public:
+  explicit FixtureShard(long long seed) { hits_ = seed; }
+
+  long long hits() const {
+    MutexLock lock(mutex_);
+    return hits_;
+  }
+
+  void record() {
+    MutexLock lock(mutex_);
+    hits_ = hits_ + 1;
+    bump();
+  }
+
+  void bump() REQUIRES(mutex_) { ++hits_; }
+
+ private:
+  mutable Mutex mutex_;
+  long long hits_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace bac

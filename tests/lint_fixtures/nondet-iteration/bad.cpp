@@ -1,0 +1,18 @@
+// Positive fixture: hash-order iteration feeding a stream, and an
+// ordered container keyed by pointer (address-order iteration).
+#include <map>
+#include <ostream>
+#include <unordered_map>
+
+namespace bac::obs {
+
+void dump(std::ostream& os) {
+  std::unordered_map<int, double> counters;
+  for (const auto& kv : counters) {
+    os << kv.first << "=" << kv.second << "\n";  // must flag: hash order
+  }
+}
+
+std::map<const char*, int> by_name;  // must flag: address-ordered keys
+
+}  // namespace bac::obs

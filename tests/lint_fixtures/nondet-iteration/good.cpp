@@ -1,0 +1,25 @@
+// Negative fixture: ordered containers iterate deterministically, and
+// an unordered container may be iterated when nothing order-dependent
+// happens in the body.
+#include <map>
+#include <ostream>
+#include <unordered_set>
+
+namespace bac::obs {
+
+void dump(std::ostream& os) {
+  std::map<int, double> counters;
+  for (const auto& kv : counters) {
+    os << kv.first << "=" << kv.second << "\n";  // std::map: stable order
+  }
+}
+
+int count_even(const std::unordered_set<int>& values) {
+  int n = 0;
+  for (int v : values) {
+    if (v % 2 == 0) ++n;  // commutative count: order cannot leak
+  }
+  return n;
+}
+
+}  // namespace bac::obs

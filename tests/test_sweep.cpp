@@ -9,7 +9,6 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <unistd.h>
 
 #include "algs/policies/classical.hpp"
@@ -19,6 +18,7 @@
 #include "trace/bact.hpp"
 #include "trace/generators.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bac {
@@ -43,11 +43,11 @@ driver::SweepConfig small_config() {
 }
 
 TEST(Sweep, EmitsOneRecordPerGridCell) {
-  std::mutex mutex;
+  bac::Mutex mutex;
   std::vector<driver::SweepRecord> records;
   const driver::SweepTotals totals =
       driver::run_sweep(small_config(), [&](const driver::SweepRecord& r) {
-        std::lock_guard lock(mutex);
+        bac::MutexLock lock(mutex);
         records.push_back(r);
       });
 
@@ -75,10 +75,10 @@ TEST(Sweep, CellsMatchDirectSimulation) {
   config.workloads = {"zipf0.9"};
   config.ks = {16};
 
-  std::mutex mutex;
+  bac::Mutex mutex;
   std::vector<driver::SweepRecord> records;
   driver::run_sweep(config, [&](const driver::SweepRecord& r) {
-    std::lock_guard lock(mutex);
+    bac::MutexLock lock(mutex);
     records.push_back(r);
   });
   ASSERT_EQ(records.size(), 1u);
@@ -99,10 +99,10 @@ TEST(Sweep, MissRatioCurveRidesAlong) {
   config.workloads = {"zipf0.9"};
   config.mrc = true;
 
-  std::mutex mutex;
+  bac::Mutex mutex;
   std::vector<driver::SweepRecord> records;
   driver::run_sweep(config, [&](const driver::SweepRecord& r) {
-    std::lock_guard lock(mutex);
+    bac::MutexLock lock(mutex);
     records.push_back(r);
   });
   ASSERT_EQ(records.size(), 2u);
@@ -120,10 +120,10 @@ TEST(Sweep, RandomizedPoliciesRunMonteCarloTrials) {
   config.ks = {8};
   config.trials = 3;
 
-  std::mutex mutex;
+  bac::Mutex mutex;
   std::vector<driver::SweepRecord> records;
   driver::run_sweep(config, [&](const driver::SweepRecord& r) {
-    std::lock_guard lock(mutex);
+    bac::MutexLock lock(mutex);
     records.push_back(r);
   });
   ASSERT_EQ(records.size(), 1u);
@@ -148,10 +148,10 @@ TEST(Sweep, FileWorkloadsSweepAcrossK) {
   config.workloads = {file};
   config.ks = {8, 16};
 
-  std::mutex mutex;
+  bac::Mutex mutex;
   std::vector<driver::SweepRecord> records;
   driver::run_sweep(config, [&](const driver::SweepRecord& r) {
-    std::lock_guard lock(mutex);
+    bac::MutexLock lock(mutex);
     records.push_back(r);
   });
   std::filesystem::remove(file);
@@ -189,10 +189,10 @@ TEST(Sweep, FileKSweepSharesBlockStructureAndStaysBitIdentical) {
   auto source = driver::make_workload_source(file, config, 12);
   EXPECT_EQ(source->context().k, 12);
 
-  std::mutex mutex;
+  bac::Mutex mutex;
   std::vector<driver::SweepRecord> records;
   driver::run_sweep(config, [&](const driver::SweepRecord& r) {
-    std::lock_guard lock(mutex);
+    bac::MutexLock lock(mutex);
     records.push_back(r);
   });
   const Instance materialized = load_bact(file);

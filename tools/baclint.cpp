@@ -2,9 +2,16 @@
 //
 //   baclint --check src [--check tools ...]   scan trees (or single files)
 //           [--json report.json]              machine-readable report
-//           [--rule <name>]                   restrict to one rule (repeat)
+//           [--sarif report.sarif]            SARIF 2.1.0 (code scanning)
+//           [--rule <name>]                   restrict to one rule/pass
 //           [--verbose]                       also print allowed findings
-//           [--list-rules]                    print the rule table and exit
+//           [--list-rules]                    print rules + passes and exit
+//
+// Two engines share one report: the regex rule table scans each file's
+// comment-free line view, and the semantic passes (lock-discipline,
+// nondet-iteration, hot-path-alloc, layering) run over the token/scope
+// models of the whole scanned corpus — lock annotations harvested from
+// headers apply to every .cpp scanned with them.
 //
 // Exit status: 0 when every finding is allowed (or none), 1 when any
 // violation stands, 2 on usage errors. Diagnostics are one line per
@@ -18,13 +25,17 @@
 
 #include "cli.hpp"
 #include "lint/lint.hpp"
+#include "lint/model.hpp"
+#include "lint/passes.hpp"
+#include "lint/sarif.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --check <path> [--check <path> ...] "
-               "[--json <report.json>] [--rule <name> ...] [--verbose]\n"
+               "[--json <report.json>] [--sarif <report.sarif>] "
+               "[--rule <name> ...] [--verbose]\n"
                "       %s [--metrics <out.json|out.prom>] "
                "[--trace <out.jsonl>]\n"
                "       %s --list-rules\n",
@@ -37,8 +48,9 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace bac::lint;
   std::vector<std::string> roots;
-  std::vector<std::string> only_rules;
+  std::vector<std::string> only;
   std::string json_path;
+  std::string sarif_path;
   bool verbose = false;
   bool list_rules = false;
   bac::cli::ObsFlags obs;
@@ -57,8 +69,10 @@ int main(int argc, char** argv) {
       roots.emplace_back(next("--check"));
     } else if (arg == "--json") {
       json_path = next("--json");
+    } else if (arg == "--sarif") {
+      sarif_path = next("--sarif");
     } else if (arg == "--rule") {
-      only_rules.emplace_back(next("--rule"));
+      only.emplace_back(next("--rule"));
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--list-rules") {
@@ -71,19 +85,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --rule filters rules and passes alike; every name must exist.
+  auto selected = [&](const std::string& name) {
+    if (only.empty()) return true;
+    for (const std::string& n : only)
+      if (n == name) return true;
+    return false;
+  };
   std::vector<Rule> rules;
-  for (const Rule& r : default_rules()) {
-    if (only_rules.empty()) {
-      rules.push_back(r);
-      continue;
-    }
-    for (const std::string& name : only_rules)
-      if (r.name == name) {
-        rules.push_back(r);
-        break;
-      }
-  }
-  if (!only_rules.empty() && rules.size() != only_rules.size()) {
+  for (const Rule& r : default_rules())
+    if (selected(r.name)) rules.push_back(r);
+  std::vector<Pass> passes;
+  for (const Pass& p : default_passes())
+    if (selected(p.name)) passes.push_back(p);
+  if (!only.empty() && rules.size() + passes.size() != only.size()) {
     std::fprintf(stderr,
                  "baclint: unknown rule in --rule (see --list-rules)\n");
     return 2;
@@ -94,12 +109,23 @@ int main(int argc, char** argv) {
       std::printf("%-26s %s\n", r.name.c_str(), r.summary.c_str());
       std::printf("%-26s hint: %s\n", "", r.hint.c_str());
     }
+    for (const Pass& p : passes) {
+      std::printf("%-26s [pass] %s\n", p.name.c_str(), p.summary.c_str());
+      std::printf("%-26s hint: %s\n", "", p.hint.c_str());
+    }
     return 0;
   }
   if (roots.empty()) return usage(argv[0]);
 
+  // Both allowlists are merged: entries are keyed by path suffix, so
+  // src entries never fire on tools/bench/tests files and vice versa.
+  std::vector<AllowEntry> allows = default_allowlist();
+  const auto& nonsrc = nonsrc_allowlist();
+  allows.insert(allows.end(), nonsrc.begin(), nonsrc.end());
+
   try {
     std::vector<Finding> findings;
+    std::vector<FileModel> corpus;
     long long files_scanned = 0;
     for (const std::string& root : roots) {
       bac::obs::Span root_span(obs.trace(), "lint/" + root);
@@ -107,10 +133,18 @@ int main(int argc, char** argv) {
       for (const std::string& file : list_source_files(root)) {
         ++files_scanned;
         ++root_files;
-        auto fs = lint_file(file, rules, default_allowlist());
+        std::vector<std::string> lines = read_source_lines(file);
+        auto fs = lint_lines(file, lines, rules, allows);
         findings.insert(findings.end(), fs.begin(), fs.end());
+        corpus.push_back(build_file_model(file, std::move(lines)));
       }
       root_span.num("files", static_cast<double>(root_files));
+    }
+    {
+      bac::obs::Span pass_span(obs.trace(), "lint/passes");
+      auto fs = run_passes(corpus, passes, allows);
+      findings.insert(findings.end(), fs.begin(), fs.end());
+      pass_span.num("findings", static_cast<double>(fs.size()));
     }
 
     int violations = 0;
@@ -135,14 +169,23 @@ int main(int argc, char** argv) {
                      json_path.c_str());
         return 2;
       }
-      write_json_report(out, rules, findings, files_scanned);
+      write_json_report(out, rules, passes, findings, files_scanned);
+    }
+    if (!sarif_path.empty()) {
+      std::ofstream out(sarif_path);
+      if (!out) {
+        std::fprintf(stderr, "baclint: cannot write %s\n",
+                     sarif_path.c_str());
+        return 2;
+      }
+      write_sarif_report(out, rules, passes, findings);
     }
 
     std::printf(
-        "baclint: %lld files, %zu rules, %zu findings (%d violations, "
-        "%zu allowed)\n",
-        files_scanned, rules.size(), findings.size(), violations,
-        findings.size() - static_cast<std::size_t>(violations));
+        "baclint: %lld files, %zu rules, %zu passes, %zu findings "
+        "(%d violations, %zu allowed)\n",
+        files_scanned, rules.size(), passes.size(), findings.size(),
+        violations, findings.size() - static_cast<std::size_t>(violations));
     auto& registry = obs.registry();
     registry.counter("lint_files_scanned_total")
         .inc(static_cast<std::uint64_t>(files_scanned));

@@ -21,7 +21,6 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -33,6 +32,7 @@
 #include "cli.hpp"
 #include "driver/sweep.hpp"
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -83,7 +83,7 @@ class JsonStream {
   }
 
   void add(const SweepRecord& r) {
-    std::lock_guard lock(mutex_);
+    bac::MutexLock lock(mutex_);
     os_ << (first_ ? "\n" : ",\n") << "        {\"workload\": ";
     first_ = false;
     bac::write_json_string(os_, r.workload);
@@ -122,7 +122,7 @@ class JsonStream {
   }
 
   void close(const SweepTotals& totals, double max_rss_mb) {
-    std::lock_guard lock(mutex_);
+    bac::MutexLock lock(mutex_);
     os_ << (first_ ? "]" : "\n      ]") << "\n    }\n  ],\n  \"aggregate\": "
         << "{\"cells\": " << totals.cells
         << ", \"requests\": " << totals.requests << ", \"wall_ms\": ";
@@ -137,10 +137,10 @@ class JsonStream {
   }
 
  private:
-  std::ofstream os_;
+  std::ofstream os_ GUARDED_BY(mutex_);
   std::string path_;
-  std::mutex mutex_;
-  bool first_ = true;
+  mutable bac::Mutex mutex_;
+  bool first_ GUARDED_BY(mutex_) = true;
 };
 
 double max_rss_mb() {
@@ -231,7 +231,7 @@ int run(int argc, char** argv) {
   config.metrics = &obs.registry();
   config.trace = obs.trace();
 
-  std::mutex print_mutex;
+  bac::Mutex print_mutex;
   if (!quiet)
     std::printf("%-22s %-14s %6s %12s %12s %10s %12s\n", "policy", "workload",
                 "k", "cost", "misses", "wall_ms", "req/s");
@@ -239,7 +239,7 @@ int run(int argc, char** argv) {
       config, [&](const SweepRecord& r) {
         if (stream) stream->add(r);
         if (!quiet) {
-          std::lock_guard lock(print_mutex);
+          bac::MutexLock lock(print_mutex);
           std::printf("%-22s %-14s %6d %12.2f %12lld %10.1f %12.0f\n",
                       r.policy.c_str(), r.workload.c_str(), r.k, r.cost,
                       r.misses, r.wall_ms, r.rps);
