@@ -7,6 +7,9 @@
 // trajectory's machine-readable trail.
 #include "bench_common.hpp"
 
+#include <filesystem>
+#include <fstream>
+
 #include "algs/policies/classical.hpp"
 #include "algs/policies/modern.hpp"
 #include "algs/det_online.hpp"
@@ -16,6 +19,7 @@
 #include "core/simulator.hpp"
 #include "obs/metrics.hpp"
 #include "submodular/flush_coverage.hpp"
+#include "trace/csv.hpp"
 #include "trace/generators.hpp"
 #include "util/timer.hpp"
 
@@ -188,7 +192,81 @@ void exact_opt() {
               "exact_opt");
 }
 
+/// Pass-2 CSV ingestion: stream a string-keyed trace through a shared
+/// CsvMapping via next_batch. This is the key-interning lane — every
+/// request is one string hash + one page-id lookup — so it isolates the
+/// lookup structure from policy logic. The checksum (sum of decoded page
+/// ids) pins the first-appearance id assignment.
+void ingest_csv_keys() {
+  Table table = perf_table();
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "bac_bench_csv_keys.csv";
+  constexpr int kKeys = 8192;
+  constexpr long long kRows = 200'000;
+  {
+    std::ofstream out(path);
+    Xoshiro256pp rng(bench::seed_of(11));
+    std::string row;
+    for (long long t = 0; t < kRows; ++t) {
+      // Quadratically skewed popularity over non-numeric keys, so the
+      // mapping uses arrival-locality grouping like a real CDN trace.
+      const double u =
+          static_cast<double>(rng() >> 11) * 0x1.0p-53;  // [0, 1)
+      const int id = static_cast<int>(u * u * kKeys);
+      row.clear();
+      row += std::to_string(t);
+      row += ",obj";
+      row += std::to_string(id);
+      row += ",128\n";
+      out << row;
+    }
+  }
+  CsvOptions options;
+  options.k = 1024;
+  const auto mapping = std::make_shared<const CsvMapping>(
+      build_csv_mapping(path.string(), options));
+  run_case(table, "ingest/csv-keys", mapping->header(), kRows, [&] {
+    CsvSource src(path.string(), mapping, options);
+    PageId buf[512];
+    double checksum = 0.0;
+    for (;;) {
+      const int got = src.next_batch(buf, 512);
+      if (got == 0) break;
+      for (int i = 0; i < got; ++i) checksum += static_cast<double>(buf[i]);
+    }
+    return checksum;
+  });
+  std::error_code ec;
+  fs::remove(path, ec);
+  bench::emit(table, "bench_perf", "PERF pass-2 CSV key-trace ingestion",
+              "ingest");
+}
+
+/// The layer DP both exact-OPT solvers spend their time in: every time
+/// step rebuilds a mask -> cost map from the previous layer. Dominance
+/// pruning is off so the layers stay wide and the map operations
+/// (try_emplace/min over ~10^4 states per step) dominate — with pruning
+/// on, the quadratic domination pass swamps the lookup structure this
+/// case exists to track. Pruning never changes the optimal cost, only
+/// the state count, so the checksum matches the pruned solvers'.
+void opt_layer_dp() {
+  Table table = perf_table();
+  const Instance inst =
+      Instance{BlockMap::contiguous(14, 2),
+               uniform_trace(14, 120, Xoshiro256pp(bench::seed_of(12))), 7};
+  OptLimits limits;
+  limits.dominance_pruning = false;
+  run_case(table, "opt/layer-dp", inst, inst.horizon(), [&] {
+    return exact_opt_eviction(inst, limits).cost +
+           exact_opt_fetching(inst, limits).cost;
+  });
+  bench::emit(table, "bench_perf",
+              "PERF exact-OPT layer DP (eviction + fetching)", "opt");
+}
+
 BAC_BENCH_EXPERIMENT("simulate", simulator_throughput);
+BAC_BENCH_EXPERIMENT("ingest", ingest_csv_keys);
+BAC_BENCH_EXPERIMENT("opt", opt_layer_dp);
 BAC_BENCH_EXPERIMENT("ftau", ftau_marginals);
 BAC_BENCH_EXPERIMENT("fractional", fractional_step);
 BAC_BENCH_EXPERIMENT("exact_opt", exact_opt);

@@ -4,19 +4,27 @@
 #include <bit>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
+
+#include "util/flat_hash.hpp"
 
 namespace bac {
 
 namespace {
 
 using Mask = std::uint64_t;
-using Layer = std::unordered_map<Mask, Cost>;
+/// Mask -> cost layers live on the open-addressing FlatMap: the DP's
+/// inner loop is try_emplace/min over millions of states, and the layers
+/// ping-pong through reset() so the steady state allocates nothing.
+/// Results are iteration-order independent (relax is a min; pruning
+/// removes exactly the non-maximal states; the trim's nth_element uses
+/// the total order on (cost, mask)), so swapping the container keeps
+/// costs bit-identical.
+using Layer = FlatMap<Mask, Cost>;
 
 void relax(Layer& layer, Mask m, Cost c) {
-  auto [it, inserted] = layer.try_emplace(m, c);
-  if (!inserted && c < it->second) it->second = c;
+  auto [cost, inserted] = layer.try_emplace(m, c);
+  if (!inserted && c < *cost) *cost = c;
 }
 
 /// Remove states dominated by another state with cost <= theirs whose cache
@@ -103,14 +111,17 @@ OptResult finish(const Layer& layer, bool exact, std::size_t peak) {
 OptResult exact_opt_eviction(const Instance& inst, const OptLimits& limits) {
   const Prepared prep = prepare(inst);
   Layer layer;
-  layer.emplace(Mask{0}, 0.0);
+  layer.try_emplace(Mask{0}, 0.0);
   std::size_t peak = 1;
   bool exact = true;
 
+  // The two layers ping-pong via swap + reset, reusing their slot arrays
+  // across all T time steps once they reach steady-state capacity.
+  Layer next;
   for (Time t = 1; t <= inst.horizon(); ++t) {
     const PageId p = inst.request_at(t);
     const Mask pbit = Mask{1} << p;
-    Layer next;
+    next.reset();
     for (const auto& [mask, cost] : layer) {
       const Mask m1 = mask | pbit;  // fetch p (free in eviction model)
       if (static_cast<int>(std::popcount(m1)) <= inst.k) {
@@ -139,13 +150,12 @@ OptResult exact_opt_eviction(const Instance& inst, const OptLimits& limits) {
                        order.begin() + static_cast<std::ptrdiff_t>(
                                            limits.max_layer_states),
                        order.end());
-      Layer trimmed;
+      next.reset();
       for (std::size_t i = 0; i < limits.max_layer_states; ++i)
-        trimmed.emplace(order[i].second, order[i].first);
-      next = std::move(trimmed);
+        next.try_emplace(order[i].second, order[i].first);
     }
     peak = std::max(peak, next.size());
-    layer = std::move(next);
+    layer.swap(next);
   }
   return finish(layer, exact, peak);
 }
@@ -153,16 +163,18 @@ OptResult exact_opt_eviction(const Instance& inst, const OptLimits& limits) {
 OptResult exact_opt_fetching(const Instance& inst, const OptLimits& limits) {
   const Prepared prep = prepare(inst);
   Layer layer;
-  layer.emplace(Mask{0}, 0.0);
+  layer.try_emplace(Mask{0}, 0.0);
   std::size_t peak = 1;
   bool exact = true;
 
+  // Same ping-pong reuse as the eviction solver.
+  Layer next;
   for (Time t = 1; t <= inst.horizon(); ++t) {
     const PageId p = inst.request_at(t);
     const Mask pbit = Mask{1} << p;
     const BlockId pb = inst.blocks.block_of(p);
     const Mask pbm = prep.block_mask[static_cast<std::size_t>(pb)];
-    Layer next;
+    next.reset();
 
     for (const auto& [mask, cost] : layer) {
       if (mask & pbit) {
@@ -208,13 +220,12 @@ OptResult exact_opt_fetching(const Instance& inst, const OptLimits& limits) {
                        order.begin() + static_cast<std::ptrdiff_t>(
                                            limits.max_layer_states),
                        order.end());
-      Layer trimmed;
+      next.reset();
       for (std::size_t i = 0; i < limits.max_layer_states; ++i)
-        trimmed.emplace(order[i].second, order[i].first);
-      next = std::move(trimmed);
+        next.try_emplace(order[i].second, order[i].first);
     }
     peak = std::max(peak, next.size());
-    layer = std::move(next);
+    layer.swap(next);
   }
   return finish(layer, exact, peak);
 }

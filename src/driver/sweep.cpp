@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 #include "algs/zoo.hpp"
@@ -9,6 +10,7 @@
 #include "trace/bact.hpp"
 #include "trace/csv.hpp"
 #include "trace/trace_io.hpp"
+#include "util/flat_hash.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -61,6 +63,12 @@ class KOverride final : public RequestSource {
     return inner_->horizon_hint();
   }
   bool next(PageId& p) override { return inner_->next(p); }
+  /// Forward batches whole: the inner source's pipelined batch decode
+  /// (CsvSource, BactSource) would be bypassed by the base class's
+  /// one-at-a-time default.
+  int next_batch(PageId* out, int cap) override {
+    return inner_->next_batch(out, cap);
+  }
   void rewind() override { inner_->rewind(); }
 
  private:
@@ -97,20 +105,20 @@ std::unique_ptr<RequestSource> make_synthetic(const std::string& spec,
 /// different block inference never reuse a stale structure.
 ///
 /// Bounded: a sweep grid reuses at most a handful of distinct trace
-/// files, but a long-lived process sweeping many files used to grow a
-/// static unordered_map forever. The cache now holds the
-/// kCsvMappingCacheCapacity most recently used mappings (LRU, linear
-/// scan — the capacity is single-digit) and evicts the coldest beyond
-/// that; shared_ptr keeps evicted mappings alive for cells still
-/// running on them.
+/// files, but a long-lived process sweeping many files used to grow
+/// forever. The cache holds the kCsvMappingCacheCapacity most recently
+/// used mappings (LRU over a FlatMap: hit or miss is decided by a
+/// single try_emplace probe — one hash of the key either way — and the
+/// coldest entry beyond capacity is evicted by a linear scan, fine at
+/// single-digit capacity); shared_ptr keeps evicted mappings alive for
+/// cells still running on them.
 struct CsvMappingSlot {
-  std::string key;
   std::shared_ptr<const CsvMapping> mapping;
   std::uint64_t last_used = 0;
 };
 
 Mutex g_csv_cache_mutex;
-std::vector<CsvMappingSlot> g_csv_cache GUARDED_BY(g_csv_cache_mutex);
+FlatMap<std::string, CsvMappingSlot> g_csv_cache GUARDED_BY(g_csv_cache_mutex);
 std::uint64_t g_csv_cache_clock GUARDED_BY(g_csv_cache_mutex) = 0;
 
 std::shared_ptr<const CsvMapping> csv_mapping_for(const std::string& path,
@@ -119,27 +127,44 @@ std::shared_ptr<const CsvMapping> csv_mapping_for(const std::string& path,
   const std::string key =
       path + "\x1f" + std::to_string(c.csv_block_pages);
   MutexLock lock(g_csv_cache_mutex);
-  for (CsvMappingSlot& slot : g_csv_cache) {
-    if (slot.key == key) {
-      slot.last_used = ++g_csv_cache_clock;
-      return slot.mapping;
+  // One probe decides hit vs miss; on a miss the slot is filled in
+  // place. build_csv_mapping can throw (unreadable file), so the
+  // placeholder is erased on the way out — a failed pass 1 must not
+  // cache a null mapping.
+  const auto [slot, inserted] = g_csv_cache.try_emplace(key);
+  if (!inserted) {
+    slot->last_used = ++g_csv_cache_clock;
+    return slot->mapping;
+  }
+  try {
+    CsvOptions options;
+    options.block_pages = c.csv_block_pages;
+    options.k = k;
+    slot->mapping =
+        std::make_shared<const CsvMapping>(build_csv_mapping(path, options));
+  } catch (...) {
+    g_csv_cache.erase(key);
+    throw;
+  }
+  slot->last_used = ++g_csv_cache_clock;
+  std::shared_ptr<const CsvMapping> mapping = slot->mapping;
+  if (g_csv_cache.size() >
+      static_cast<std::size_t>(kCsvMappingCacheCapacity)) {
+    // Evict the coldest entry (never the one just inserted — it holds
+    // the newest clock). erase() only tombstones, so no slot moves.
+    const std::string* coldest = nullptr;
+    std::uint64_t coldest_used = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& [cached_key, cached] : g_csv_cache) {
+      if (cached.last_used < coldest_used) {
+        coldest_used = cached.last_used;
+        coldest = &cached_key;
+      }
+    }
+    if (coldest != nullptr) {
+      const std::string victim = *coldest;
+      g_csv_cache.erase(victim);
     }
   }
-  CsvOptions options;
-  options.block_pages = c.csv_block_pages;
-  options.k = k;
-  auto mapping =
-      std::make_shared<const CsvMapping>(build_csv_mapping(path, options));
-  if (g_csv_cache.size() >=
-      static_cast<std::size_t>(kCsvMappingCacheCapacity)) {
-    std::size_t coldest = 0;
-    for (std::size_t i = 1; i < g_csv_cache.size(); ++i)
-      if (g_csv_cache[i].last_used < g_csv_cache[coldest].last_used)
-        coldest = i;
-    g_csv_cache.erase(g_csv_cache.begin() +
-                      static_cast<std::ptrdiff_t>(coldest));
-  }
-  g_csv_cache.push_back({key, mapping, ++g_csv_cache_clock});
   return mapping;
 }
 

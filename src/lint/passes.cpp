@@ -42,8 +42,9 @@ const std::vector<Pass>& pass_table() {
        "scopes tagged `// baclint: hot-path` must stay allocation-free: "
        "no new/make_unique/make_shared and no node-allocating container "
        "declarations or insert/emplace/operator[] calls",
-       "use the reset-reused flat primitives (core/eviction_index.hpp) "
-       "or hoist the allocation out of the request path",
+       "use the reset-reused flat primitives (bac::FlatMap/FlatSet in "
+       "util/flat_hash.hpp, core/eviction_index.hpp) or hoist the "
+       "allocation out of the request path",
        {},
        kPassExclude},
       {"layering",

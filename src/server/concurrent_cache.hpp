@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -48,12 +49,12 @@ struct ServerStats {
   obs::Histogram latency_us;
   obs::Histogram lock_wait_us;
   /// Derived from latency_us: bucket-midpoint quantile estimates of the
-  /// merged per-REQUEST distribution; mean/max exact. 0 before any
-  /// request.
-  double lat_p50_us = 0;
-  double lat_p99_us = 0;
-  double lat_mean_us = 0;
-  double lat_max_us = 0;
+  /// merged per-REQUEST distribution; mean/max exact. NaN before any
+  /// request (the empty-histogram convention; JSON renders it null).
+  double lat_p50_us = std::numeric_limits<double>::quiet_NaN();
+  double lat_p99_us = std::numeric_limits<double>::quiet_NaN();
+  double lat_mean_us = std::numeric_limits<double>::quiet_NaN();
+  double lat_max_us = std::numeric_limits<double>::quiet_NaN();
 
   [[nodiscard]] Cost total_cost() const noexcept {
     return eviction_cost + fetch_cost;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "core/cache_set.hpp"
@@ -46,11 +47,13 @@ struct ShardSnapshot {
   /// Mutex acquisition wait per get_batch call (contention signal).
   obs::Histogram lock_wait_us;
   /// Derived from latency_us (bucket-midpoint estimates; max is exact);
-  /// kept as flat fields for JSON emitters. 0 before any request.
-  double lat_p50_us = 0;
-  double lat_p99_us = 0;
-  double lat_mean_us = 0;
-  double lat_max_us = 0;
+  /// kept as flat fields for JSON emitters. NaN before any request —
+  /// the repo-wide empty-histogram convention (obs::Histogram::mean),
+  /// which write_json_number renders as null rather than a fake 0 us.
+  double lat_p50_us = std::numeric_limits<double>::quiet_NaN();
+  double lat_p99_us = std::numeric_limits<double>::quiet_NaN();
+  double lat_mean_us = std::numeric_limits<double>::quiet_NaN();
+  double lat_max_us = std::numeric_limits<double>::quiet_NaN();
 
   [[nodiscard]] Cost total_cost() const noexcept {
     return eviction_cost + fetch_cost;

@@ -6,20 +6,25 @@
 #include <cstdlib>
 #include <map>
 #include <stdexcept>
+#include <string_view>
 
 namespace bac {
 
 namespace {
 
-/// Split `line` on the delimiter into at most the columns we care about.
-/// Returns false (skip row) when the timestamp column is not numeric —
-/// that covers headers, comments, and ragged lines in one rule.
-struct Row {
-  std::string key;
+/// One parsed data row. The key is a view into the caller's line buffer:
+/// parsing allocates nothing, which matters in pass 2 where every
+/// request re-parses a line.
+struct RowView {
+  std::string_view key;
   double size = 1.0;
 };
 
-bool numeric(const std::string& field) {
+/// Numeric-field validation plus (optionally) the parsed value. Keeps
+/// strtod semantics exactly — `scratch` is a reused buffer that only
+/// exists because strtod needs NUL termination a view cannot provide.
+bool numeric(std::string_view field, std::string& scratch,
+             double* out = nullptr) {
   // Space-padded fields ("1, 4096") are common in hand-written and
   // tool-exported CSVs; strtod accepted the leading whitespace, so the
   // validation must keep doing so.
@@ -27,7 +32,7 @@ bool numeric(const std::string& field) {
   while (lo < hi && (field[lo] == ' ' || field[lo] == '\t')) ++lo;
   while (hi > lo && (field[hi - 1] == ' ' || field[hi - 1] == '\t')) --hi;
   if (lo == hi) return false;
-  const std::string s = field.substr(lo, hi - lo);
+  const std::string_view s = field.substr(lo, hi - lo);
   // Plain decimal/scientific only. strtod also accepts "inf", "nan", and
   // hex floats ("0x1p3"); none of those is a sane timestamp or object
   // size, and letting them through turns one corrupt row into a silently
@@ -38,39 +43,58 @@ bool numeric(const std::string& field) {
                     c == '.' || c == 'e' || c == 'E';
     if (!ok) return false;
   }
+  scratch.assign(s.data(), s.size());
   char* end = nullptr;
   errno = 0;
-  const double v = std::strtod(s.c_str(), &end);
-  return errno == 0 && end == s.c_str() + s.size() && std::isfinite(v);
+  const double v = std::strtod(scratch.c_str(), &end);
+  if (errno != 0 || end != scratch.c_str() + scratch.size() ||
+      !std::isfinite(v))
+    return false;
+  if (out != nullptr) *out = v;
+  return true;
 }
 
-/// Parse one line. Non-data rows (headers, comments, ragged lines — i.e.
+/// Parse one line, keeping only the columns that matter as views into
+/// `line`. Non-data rows (headers, comments, ragged lines — i.e.
 /// anything whose timestamp column is not numeric) return false and are
 /// skipped. In strict mode, rows that *are* data rows but carry a
 /// malformed size field throw with the 1-based line number instead of
 /// silently coercing the size to 1.0.
-bool parse_row(const std::string& line, const CsvOptions& opt, Row& row,
-               long long line_no) {
-  std::vector<std::string> fields;
+bool parse_row(std::string_view line, const CsvOptions& opt, RowView& row,
+               long long line_no, std::string& scratch) {
+  std::string_view time_field, key_field, size_field;
+  bool have_time = false, have_key = false, have_size = false;
   std::size_t start = 0;
-  while (start <= line.size()) {
+  for (int idx = 0;; ++idx) {
     const std::size_t pos = line.find(opt.delimiter, start);
-    const std::size_t end = pos == std::string::npos ? line.size() : pos;
-    fields.emplace_back(line.substr(start, end - start));
-    if (pos == std::string::npos) break;
+    const bool last = pos == std::string_view::npos;
+    std::string_view field =
+        line.substr(start, (last ? line.size() : pos) - start);
+    // CRLF normalization: a Windows line ending would otherwise glue
+    // '\r' onto the last field (rejecting it as numeric or corrupting
+    // the key).
+    if (last && !field.empty() && field.back() == '\r')
+      field.remove_suffix(1);
+    if (idx == opt.time_col) {
+      time_field = field;
+      have_time = true;
+    }
+    if (idx == opt.key_col) {
+      key_field = field;
+      have_key = true;
+    }
+    if (opt.size_col >= 0 && idx == opt.size_col) {
+      size_field = field;
+      have_size = true;
+    }
+    if (last) break;
     start = pos + 1;
   }
-  // CRLF normalization: a Windows line ending would otherwise glue '\r'
-  // onto the last field (rejecting it as numeric or corrupting the key).
-  if (!fields.empty() && !fields.back().empty() && fields.back().back() == '\r')
-    fields.back().pop_back();
   // Only timestamp and key are required; the size column is optional
   // (two-column timestamp,key traces are valid, size defaults to 1).
-  const auto need =
-      static_cast<std::size_t>(std::max(opt.time_col, opt.key_col));
-  if (fields.size() <= need) return false;
-  if (!numeric(fields[static_cast<std::size_t>(opt.time_col)])) return false;
-  row.key = fields[static_cast<std::size_t>(opt.key_col)];
+  if (!have_time || !have_key) return false;
+  if (!numeric(time_field, scratch)) return false;
+  row.key = key_field;
   if (row.key.empty()) {
     if (opt.strict)
       throw std::runtime_error("csv: empty key field at line " +
@@ -78,25 +102,26 @@ bool parse_row(const std::string& line, const CsvOptions& opt, Row& row,
     return false;
   }
   row.size = 1.0;
-  if (opt.size_col >= 0 &&
-      static_cast<std::size_t>(opt.size_col) < fields.size()) {
-    const std::string& s = fields[static_cast<std::size_t>(opt.size_col)];
-    if (numeric(s)) {
-      row.size = std::strtod(s.c_str(), nullptr);
-    } else if (opt.strict) {
-      throw std::runtime_error("csv: malformed size field '" + s +
-                               "' at line " + std::to_string(line_no));
+  if (have_size) {
+    if (!numeric(size_field, scratch, &row.size)) {
+      row.size = 1.0;
+      if (opt.strict)
+        throw std::runtime_error("csv: malformed size field '" +
+                                 std::string(size_field) + "' at line " +
+                                 std::to_string(line_no));
     }
   }
   return true;
 }
 
-bool parse_unsigned(const std::string& s, std::uint64_t& out) {
+bool parse_unsigned(std::string_view s, std::string& scratch,
+                    std::uint64_t& out) {
   if (s.empty()) return false;
+  scratch.assign(s.data(), s.size());
   char* end = nullptr;
   errno = 0;
-  const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  const std::uint64_t v = std::strtoull(scratch.c_str(), &end, 10);
+  if (errno != 0 || end != scratch.c_str() + scratch.size()) return false;
   out = v;
   return true;
 }
@@ -119,7 +144,7 @@ CsvMapping build_csv_mapping(const std::string& path,
   if (!in) throw std::runtime_error("csv: cannot open " + path);
 
   // First-appearance page ids; per-page key value and size statistics.
-  std::unordered_map<std::string, PageId> key_to_page;
+  FlatMap<std::string, PageId> key_to_page;
   std::vector<std::uint64_t> key_values;  // numeric value per page
   std::vector<double> size_sum;
   std::vector<long long> size_count;
@@ -127,18 +152,20 @@ CsvMapping build_csv_mapping(const std::string& path,
   long long rows = 0;
 
   std::string line;
-  Row row;
+  std::string scratch;
+  RowView row;
   long long line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (!parse_row(line, options, row, line_no)) continue;
+    if (!parse_row(line, options, row, line_no, scratch)) continue;
     ++rows;
-    const auto [it, inserted] =
-        key_to_page.try_emplace(row.key,
-                                static_cast<PageId>(key_to_page.size()));
+    // Heterogeneous upsert: one hash per row, and the key is only copied
+    // into an owning std::string the first time it appears.
+    const auto [page, inserted] = key_to_page.try_emplace(
+        row.key, static_cast<PageId>(key_to_page.size()));
     if (inserted) {
       std::uint64_t v = 0;
-      if (all_numeric && parse_unsigned(row.key, v)) {
+      if (all_numeric && parse_unsigned(row.key, scratch, v)) {
         key_values.push_back(v);
       } else {
         all_numeric = false;
@@ -146,7 +173,7 @@ CsvMapping build_csv_mapping(const std::string& path,
       size_sum.push_back(0.0);
       size_count.push_back(0);
     }
-    const auto p = static_cast<std::size_t>(it->second);
+    const auto p = static_cast<std::size_t>(*page);
     size_sum[p] += row.size;
     ++size_count[p];
   }
@@ -212,21 +239,61 @@ CsvSource::CsvSource(const std::string& path,
   if (!in_) throw std::runtime_error("csv: cannot open " + path);
 }
 
-bool CsvSource::next(PageId& p) {
-  Row row;
-  while (std::getline(in_, line_)) {
+bool CsvSource::read_row(std::string& line, std::string_view& key) {
+  RowView row;
+  while (std::getline(in_, line)) {
     ++line_no_;
-    if (!parse_row(line_, options_, row, line_no_)) continue;
-    const auto it = map_->key_to_page.find(row.key);
-    if (it == map_->key_to_page.end())
-      throw std::runtime_error("csv: key '" + row.key + "' in " + path_ +
-                               " absent from the mapping (file changed "
-                               "between passes?)");
-    p = it->second;
+    if (!parse_row(line, options_, row, line_no_, scratch_)) continue;
+    key = row.key;
     return true;
   }
   if (in_.bad()) throw std::runtime_error("csv: read error on " + path_);
   return false;
+}
+
+PageId CsvSource::translate(std::uint64_t hash, std::string_view key) const {
+  const PageId* p = map_->key_to_page.find_hashed(hash, key);
+  if (p == nullptr)
+    throw std::runtime_error("csv: key '" + std::string(key) + "' in " +
+                             path_ +
+                             " absent from the mapping (file changed "
+                             "between passes?)");
+  return *p;
+}
+
+bool CsvSource::next(PageId& p) {
+  std::string_view key;
+  if (!read_row(lines_[0], key)) return false;
+  p = translate(map_->key_to_page.hash(key), key);
+  return true;
+}
+
+int CsvSource::next_batch(PageId* out, int cap) {
+  // baclint: hot-path — the per-request decode loop must stay allocation-free
+  //
+  // Software-pipelined: parse row r+1 and prefetch its probe group while
+  // row r's lookup resolves, hiding the interner's cache miss behind the
+  // next line's parse. Two alternating line buffers keep the pending
+  // key's view alive while getline overwrites the other buffer.
+  int produced = 0;
+  std::string_view pending_key;
+  std::uint64_t pending_hash = 0;
+  bool has_pending = false;
+  int buf = 0;
+  while (produced + (has_pending ? 1 : 0) < cap) {
+    std::string_view key;
+    if (!read_row(lines_[buf], key)) break;
+    const std::uint64_t h = map_->key_to_page.hash(key);
+    map_->key_to_page.prefetch(h);
+    if (has_pending) out[produced++] = translate(pending_hash, pending_key);
+    pending_key = key;
+    pending_hash = h;
+    has_pending = true;
+    buf ^= 1;
+  }
+  if (has_pending && produced < cap)
+    out[produced++] = translate(pending_hash, pending_key);
+  return produced;
 }
 
 void CsvSource::rewind() {

@@ -29,11 +29,12 @@
 #include <fstream>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "core/instance.hpp"
 #include "core/request_source.hpp"
+#include "util/flat_hash.hpp"
 
 namespace bac {
 
@@ -55,11 +56,13 @@ struct CsvOptions {
   bool strict = false;
 };
 
-/// The key -> page translation plus the inferred block structure.
+/// The key -> page translation plus the inferred block structure. The
+/// interner is an open-addressing FlatMap probed with string_views, so
+/// pass 2 translates each row with one hash and no temporary strings.
 struct CsvMapping {
   BlockMap blocks;
   int k = 0;
-  std::unordered_map<std::string, PageId> key_to_page;
+  FlatMap<std::string, PageId> key_to_page;
   long long rows = 0;      ///< data rows seen in pass 1
   bool numeric_keys = false;
 
@@ -84,21 +87,25 @@ class CsvSource final : public RequestSource {
   }
   bool next(PageId& p) override;
   /// Batched decode: one virtual call per 512 requests instead of one
-  /// per request (the class is final, so the inner next() devirtualizes).
-  int next_batch(PageId* out, int cap) override {
-    int i = 0;
-    while (i < cap && next(out[i])) ++i;
-    return i;
-  }
+  /// per request, software-pipelined — row r+1 is parsed and its probe
+  /// group prefetched while row r's page id resolves (see csv.cpp).
+  int next_batch(PageId* out, int cap) override;
   void rewind() override;
 
  private:
+  /// Read the next data row into `line`; `key` views into it.
+  bool read_row(std::string& line, std::string_view& key);
+  PageId translate(std::uint64_t hash, std::string_view key) const;
+
   std::string path_;
   std::shared_ptr<const CsvMapping> map_;
   CsvOptions options_;
   std::ifstream in_;
   Instance header_;
-  std::string line_;
+  /// Two line buffers so the pipelined batch loop can parse row r+1
+  /// while row r's key (a view into the other buffer) is still live.
+  std::string lines_[2];
+  std::string scratch_;    ///< reused NUL-terminated copy for strtod
   long long line_no_ = 0;  ///< 1-based, for strict-mode diagnostics
 };
 

@@ -1,7 +1,11 @@
 // Negative fixture: the tagged scope touches only pre-sized flat state;
-// allocation happens in reset(), outside the tag.
+// allocation happens in reset(), outside the tag. The approved
+// replacements for node containers — bac::FlatMap and friends — are
+// legal inside the tag: their insert paths reuse reserved storage.
 #include <cstddef>
 #include <vector>
+
+#include "util/flat_hash.hpp"
 
 namespace bac {
 
@@ -10,12 +14,19 @@ class FixturePolicy {
   void on_request(int p) {
     // baclint: hot-path
     if (static_cast<std::size_t>(p) < freq_.size()) ++freq_[p];
+    last_seen_.try_emplace(static_cast<unsigned>(p), tick_++);
   }
 
-  void reset(std::size_t n) { freq_.assign(n, 0); }
+  void reset(std::size_t n) {
+    freq_.assign(n, 0);
+    last_seen_.reserve(n);
+    last_seen_.reset();
+  }
 
  private:
   std::vector<int> freq_;
+  FlatMap<unsigned, long long> last_seen_;
+  long long tick_ = 0;
 };
 
 }  // namespace bac

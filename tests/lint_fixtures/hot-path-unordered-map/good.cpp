@@ -1,6 +1,11 @@
-// Negative fixture: a dense-id vector replaces the hash map.
+// Negative fixture: the two approved shapes — a dense-id vector, and
+// the open-addressing bac::FlatMap/FlatSet from util/flat_hash.hpp.
 #include <vector>
+
+#include "util/flat_hash.hpp"
 
 struct SlotIndex {
   std::vector<int> slot_of;  // keyed by dense page id
+  bac::FlatMap<unsigned long long, int> sparse_slot_of;
+  bac::FlatSet<unsigned long long> resident;
 };

@@ -5,6 +5,9 @@
 // replays this suite via the `concurrency` label).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
+
 #include <memory>
 #include <set>
 #include <vector>
@@ -15,6 +18,7 @@
 #include "core/simulator.hpp"
 #include "server/concurrent_cache.hpp"
 #include "server/dispatch.hpp"
+#include "util/json.hpp"
 #include "util/timer.hpp"
 
 namespace bac {
@@ -277,14 +281,28 @@ TEST(CacheShard, OneSlowRequestInABatchMovesTheTail) {
   EXPECT_LT(snap.latency_us.quantile(0.5), 250.0);
 }
 
-TEST(ConcurrentCache, EmptyCacheReportsZeroedStats) {
+TEST(ConcurrentCache, EmptyCacheReportsNaNLatencies) {
   const Workload w = zipf_workload(1);
   ConcurrentCache cache(w.inst, LruPolicy(), 3);
   const ServerStats stats = cache.stats();
   EXPECT_EQ(stats.requests, 0);
   EXPECT_EQ(stats.total_cost(), 0.0);
-  EXPECT_EQ(stats.lat_p50_us, 0.0);  // no fake 0-latency observations
-  EXPECT_EQ(stats.lat_max_us, 0.0);
+  // No requests -> no latency distribution. The derived fields follow
+  // the repo-wide empty-histogram convention (NaN, not a fake 0 us
+  // observation), matching obs::Histogram::mean()/max().
+  EXPECT_TRUE(std::isnan(stats.lat_p50_us));
+  EXPECT_TRUE(std::isnan(stats.lat_p99_us));
+  EXPECT_TRUE(std::isnan(stats.lat_mean_us));
+  EXPECT_TRUE(std::isnan(stats.lat_max_us));
+  // Per-shard snapshots follow the same convention...
+  const ShardSnapshot snap = cache.shard_snapshot(0);
+  EXPECT_TRUE(std::isnan(snap.lat_p50_us));
+  EXPECT_TRUE(std::isnan(snap.lat_max_us));
+  // ...and the JSON layer renders the NaN as null, so emitters that
+  // pass lat_* through write_json_number stay valid JSON.
+  std::ostringstream os;
+  write_json_number(os, stats.lat_p50_us);
+  EXPECT_EQ(os.str(), "null");
 }
 
 // Randomized policies: per-shard seeds are (seed + shard), independent of

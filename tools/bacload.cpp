@@ -24,6 +24,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -77,6 +78,13 @@ struct RunRecord {
   int threads = 0;
   double wall_ms = 0;
   double rps = 0;
+  /// Throughput relative to this invocation's first (baseline) run.
+  double speedup = 1.0;
+  /// speedup divided by the thread-count ratio vs the baseline run:
+  /// 1.0 = perfect scaling, and the gap below 1.0 is what the per-shard
+  /// lock_wait_* fields in the same record explain (contention-aware
+  /// scaling report, ROADMAP item 6).
+  double scaling_efficiency = 1.0;
   ServerStats stats;
 };
 
@@ -128,6 +136,12 @@ void write_json(const std::string& path, const bac::driver::SweepConfig& cfg,
         {"lat_mean_us", r.stats.lat_mean_us},
         {"lat_max_us", r.stats.lat_max_us},
         {"lock_wait_p99_us", r.stats.lock_wait_us.quantile(0.99)},
+        {"lock_wait_mean_us", r.stats.lock_wait_us.mean()},
+        {"lock_wait_total_ms",
+         r.stats.lock_wait_us.mean() *
+             static_cast<double>(r.stats.lock_wait_us.count()) / 1000.0},
+        {"speedup", r.speedup},
+        {"scaling_efficiency", r.scaling_efficiency},
     };
     for (const auto& [key, value] : extras) {
       os << ", \"" << key << "\": ";
@@ -142,6 +156,7 @@ void write_json(const std::string& path, const bac::driver::SweepConfig& cfg,
      << ", \"wall_ms\": ";
   bac::write_json_number(os, total_wall_ms);
   os << ", \"cost_equal_across_runs\": " << (costs_equal ? "true" : "false")
+     << ", \"hardware_concurrency\": " << std::thread::hardware_concurrency()
      << "}\n}\n";
   if (!os.flush())
     throw std::runtime_error("bacload: short write to " + path);
@@ -245,9 +260,9 @@ int run(int argc, char** argv) {
     shards = std::min(ConcurrentCache::max_shards(ctx), 64);
 
   if (!quiet)
-    std::printf("%8s %8s %12s %12s %14s %10s %12s %10s %10s %8s\n", "threads",
-                "shards", "requests", "misses", "cost", "wall_ms", "req/s",
-                "p50_us", "p99_us", "speedup");
+    std::printf("%8s %8s %12s %12s %14s %10s %12s %10s %10s %8s %6s\n",
+                "threads", "shards", "requests", "misses", "cost", "wall_ms",
+                "req/s", "p50_us", "p99_us", "speedup", "eff");
 
   std::vector<RunRecord> runs;
   double base_rps = 0;
@@ -273,12 +288,18 @@ int run(int argc, char** argv) {
     r.wall_ms = seconds * 1000.0;
     r.rps = seconds > 0 ? static_cast<double>(r.stats.requests) / seconds : 0;
     if (runs.empty()) base_rps = r.rps;
+    r.speedup = base_rps > 0 ? r.rps / base_rps : 0.0;
+    const double thread_ratio =
+        static_cast<double>(n_threads) /
+        static_cast<double>(runs.empty() ? n_threads : thread_counts.front());
+    r.scaling_efficiency = thread_ratio > 0 ? r.speedup / thread_ratio : 0.0;
     if (!quiet)
       std::printf(
-          "%8d %8d %12lld %12lld %14.2f %10.1f %12.0f %10.2f %10.2f %7.2fx\n",
+          "%8d %8d %12lld %12lld %14.2f %10.1f %12.0f %10.2f %10.2f %7.2fx "
+          "%6.2f\n",
           r.threads, shards, r.stats.requests, r.stats.misses,
           r.stats.total_cost(), r.wall_ms, r.rps, r.stats.lat_p50_us,
-          r.stats.lat_p99_us, base_rps > 0 ? r.rps / base_rps : 0.0);
+          r.stats.lat_p99_us, r.speedup, r.scaling_efficiency);
     runs.push_back(r);
   }
 
